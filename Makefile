@@ -1,0 +1,29 @@
+# SwitchFlow reproduction — common targets.
+
+.PHONY: all build vet test bench results examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./... 2>&1 | tee test_output.txt
+
+bench:
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every table and figure of the paper (and the extensions).
+results:
+	go run ./cmd/swbench -exp all -iters 200 -requests 200 | tee docs/results-full.txt
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/inference_collocation
+	go run ./examples/multitask_reuse
+	go run ./examples/preemption_migration
+	go run ./examples/listing1
+	go run ./examples/hyperparam_tuning

@@ -1,0 +1,187 @@
+// Command swrun runs an ad-hoc collocation scenario described on the
+// command line and reports per-job outcomes.
+//
+// Jobs are comma-separated specs of the form
+//
+//	kind:model:batch[:prio][@gpu]
+//
+// where kind is train, serve (closed loop), or infer (saturated), e.g.
+//
+//	swrun -machine v100 -sched switchflow \
+//	      -jobs train:VGG16:32:1,serve:ResNet50:1:2 -for 30s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"switchflow"
+	"switchflow/internal/control"
+)
+
+func main() {
+	var (
+		machineFlag  = flag.String("machine", "v100", "machine: v100, 2gpu, tx2, or a GPU name")
+		schedFlag    = flag.String("sched", "switchflow", "scheduler: switchflow, threaded, timeslice, mps")
+		jobsFlag     = flag.String("jobs", "train:ResNet50:16:1", "comma-separated job specs")
+		window       = flag.Duration("for", 30*time.Second, "virtual time to run")
+		scenarioFlag = flag.String("scenario", "", "JSON scenario file (overrides the other flags)")
+	)
+	flag.Parse()
+	var err error
+	if *scenarioFlag != "" {
+		err = runScenario(*scenarioFlag)
+	} else {
+		err = run(*machineFlag, *schedFlag, *jobsFlag, *window)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machineName, schedName, jobsSpec string, window time.Duration) error {
+	spec, err := machineSpec(machineName)
+	if err != nil {
+		return err
+	}
+	sim := switchflow.NewSimulation(spec)
+
+	var sched switchflow.Scheduler
+	switch schedName {
+	case "switchflow":
+		sched = sim.SwitchFlow()
+	case "threaded":
+		sched = sim.ThreadedTF()
+	case "timeslice":
+		sched = sim.TimeSlice()
+	case "mps":
+		sched = sim.MPS()
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+
+	var jobs []*switchflow.Job
+	for _, one := range strings.Split(jobsSpec, ",") {
+		js, err := parseJob(strings.TrimSpace(one))
+		if err != nil {
+			return err
+		}
+		job, err := sched.AddJob(js)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, job)
+	}
+
+	sim.RunFor(window)
+
+	fmt.Printf("machine=%s scheduler=%s window=%v\n", spec.Name(), sched.Name(), window)
+	for _, job := range jobs {
+		status := "ok"
+		if job.Crashed() {
+			status = "CRASHED: " + job.Err().Error()
+		}
+		line := fmt.Sprintf("  %-20s iters=%-6d throughput=%8.1f img/s",
+			job.Name(), job.Iterations(), job.Throughput(window))
+		if job.Requests() > 0 {
+			line += fmt.Sprintf("  p95=%v", job.P95Latency().Round(time.Millisecond))
+		}
+		fmt.Printf("%s  [%s]\n", line, status)
+	}
+	if sf, ok := sched.(*switchflow.SwitchFlowScheduler); ok {
+		fmt.Printf("  preemptions=%d migrations=%d grant-p95=%v\n",
+			sf.Preemptions(), sf.Migrations(), sf.PreemptionP95().Round(time.Microsecond))
+	}
+	return nil
+}
+
+func machineSpec(name string) (switchflow.MachineSpec, error) {
+	switch strings.ToLower(name) {
+	case "v100":
+		return switchflow.V100Server(), nil
+	case "2gpu":
+		return switchflow.TwoGPUServer(), nil
+	case "tx2":
+		return switchflow.JetsonTX2(), nil
+	default:
+		return switchflow.SingleGPU(name)
+	}
+}
+
+// parseJob parses kind:model:batch[:prio][@gpu].
+func parseJob(s string) (switchflow.JobSpec, error) {
+	var spec switchflow.JobSpec
+	gpu := 0
+	if at := strings.LastIndex(s, "@"); at >= 0 {
+		n, err := strconv.Atoi(s[at+1:])
+		if err != nil {
+			return spec, fmt.Errorf("job %q: bad gpu index", s)
+		}
+		gpu = n
+		s = s[:at]
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 3 {
+		return spec, fmt.Errorf("job %q: want kind:model:batch[:prio]", s)
+	}
+	batch, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return spec, fmt.Errorf("job %q: bad batch", s)
+	}
+	prio := 0
+	if len(parts) > 3 {
+		if prio, err = strconv.Atoi(parts[3]); err != nil {
+			return spec, fmt.Errorf("job %q: bad priority", s)
+		}
+	}
+	spec = switchflow.JobSpec{
+		Name:     fmt.Sprintf("%s-%s", parts[0], parts[1]),
+		Model:    parts[1],
+		Batch:    batch,
+		Priority: prio,
+		GPU:      gpu,
+	}
+	switch parts[0] {
+	case "train":
+		spec.Train = true
+		spec.FallbackCPU = true
+		for i := 0; i < 4; i++ {
+			if i != gpu {
+				spec.FallbackGPUs = append(spec.FallbackGPUs, i)
+			}
+		}
+	case "serve":
+		spec.ClosedLoop = true
+	case "infer":
+		spec.Saturated = true
+	default:
+		return spec, fmt.Errorf("job %q: unknown kind %q", s, parts[0])
+	}
+	return spec, nil
+}
+
+// runScenario executes a declarative JSON scenario (see docs/scenarios).
+func runScenario(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := control.ParseScenario(f)
+	if err != nil {
+		return err
+	}
+	res, err := control.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,41 @@
+// Command swserved serves a SwitchFlow simulation over HTTP — the
+// model-submission service of §4's future-work note, in the spirit of
+// TF Serving. Clients submit jobs, advance virtual time, and read stats.
+//
+//	swserved -addr :8754 -machine v100
+//
+//	curl -X POST localhost:8754/v1/jobs -d '{"name":"train","model":"VGG16","batch":32,"train":true,"priority":1}'
+//	curl -X POST localhost:8754/v1/advance -d '{"forMillis":5000}'
+//	curl localhost:8754/v1/status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"switchflow/internal/control"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8754", "listen address")
+		machine = flag.String("machine", "v100", "machine: v100, 2gpu, tx2, or a GPU name")
+	)
+	flag.Parse()
+	if err := run(*addr, *machine); err != nil {
+		fmt.Fprintln(os.Stderr, "swserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, machine string) error {
+	server, err := control.NewServer(machine)
+	if err != nil {
+		return err
+	}
+	log.Printf("swserved: machine %q listening on %s", machine, addr)
+	return http.ListenAndServe(addr, server.Handler())
+}

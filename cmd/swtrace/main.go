@@ -1,0 +1,121 @@
+// Command swtrace emits a Figure 2 style kernel timeline: two models
+// co-running on one GPU under a chosen scheduler, as ASCII art or JSON.
+//
+// Usage:
+//
+//	swtrace -models ResNet50,ResNet50 -gpu V100 -sched threaded -for 5s
+//	swtrace -format json > timeline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"switchflow/internal/baseline"
+	"switchflow/internal/core"
+	"switchflow/internal/device"
+	"switchflow/internal/models"
+	"switchflow/internal/sim"
+	"switchflow/internal/trace"
+	"switchflow/internal/workload"
+)
+
+func main() {
+	var (
+		modelsFlag = flag.String("models", "ResNet50,ResNet50", "comma-separated training models to co-run")
+		gpuFlag    = flag.String("gpu", "V100", "GPU model: V100, RTX 2080 Ti, GTX 1080 Ti, Jetson TX2")
+		schedFlag  = flag.String("sched", "threaded", "scheduler: threaded or switchflow")
+		window     = flag.Duration("for", 5*time.Second, "virtual time to trace")
+		batch      = flag.Int("batch", 16, "training batch size")
+		format     = flag.String("format", "ascii", "output: ascii, json, or profile (nvprof-style kernel stats)")
+		width      = flag.Int("width", 100, "ascii timeline width")
+	)
+	flag.Parse()
+	if err := run(*modelsFlag, *gpuFlag, *schedFlag, *format, *window, *batch, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "swtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelList, gpuName, sched, format string, window time.Duration, batch, width int) error {
+	eng := sim.NewEngine()
+	machine, err := machineFor(eng, gpuName)
+	if err != nil {
+		return err
+	}
+	tl := &trace.Timeline{}
+	tl.Attach(machine.GPU(0))
+
+	names := strings.Split(modelList, ",")
+	cfgs := make([]workload.Config, 0, len(names))
+	for i, name := range names {
+		spec, err := models.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		cfgs = append(cfgs, workload.Config{
+			Name:   fmt.Sprintf("%s-%d", spec.Name, i),
+			Model:  spec,
+			Batch:  batch,
+			Kind:   workload.KindTraining,
+			Device: device.GPUID(0),
+		})
+	}
+
+	switch sched {
+	case "threaded":
+		s := baseline.NewThreadedTF(eng, machine)
+		for _, cfg := range cfgs {
+			if _, err := s.AddJob(cfg); err != nil {
+				return err
+			}
+		}
+	case "switchflow":
+		m := core.NewManager(eng, machine, core.Options{})
+		for _, cfg := range cfgs {
+			if _, err := m.AddJob(cfg); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown scheduler %q", sched)
+	}
+
+	eng.RunUntil(window)
+
+	switch format {
+	case "json":
+		return tl.WriteJSON(os.Stdout)
+	case "profile":
+		fmt.Printf("kernel profile on %s under %s over %v:\n", gpuName, sched, window)
+		return tl.WriteProfile(os.Stdout, 25)
+	case "ascii":
+		bucket := window / time.Duration(width)
+		fmt.Printf("kernel timeline on %s under %s (1 col = %v):\n", gpuName, sched, bucket)
+		return tl.RenderASCII(os.Stdout, bucket, width)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func machineFor(eng *sim.Engine, gpu string) (*device.Machine, error) {
+	cpu := device.ClassXeonDual
+	var class device.GPUClass
+	switch gpu {
+	case "V100":
+		class = device.ClassV100
+	case "RTX 2080 Ti":
+		class = device.ClassRTX2080Ti
+	case "GTX 1080 Ti":
+		class = device.ClassGTX1080Ti
+	case "Jetson TX2":
+		class = device.ClassJetsonTX2
+		cpu = device.ClassCortexA57
+	default:
+		return nil, fmt.Errorf("unknown GPU %q", gpu)
+	}
+	return device.NewMachine(eng, cpu, class), nil
+}

@@ -1,0 +1,30 @@
+// Package switchflow is a Go reproduction of "SwitchFlow: Preemptive
+// Multitasking for Deep Learning" (Wu et al., Middleware'21).
+//
+// It provides a complete, self-contained substrate — a deterministic
+// discrete-event simulator of GPUs/CPUs, a TensorFlow-style static-graph
+// execution engine (sessions, executors, thread pools, work stealing,
+// compute streams), and a zoo of the paper's twelve DNN models — plus the
+// SwitchFlow scheduler itself and the paper's three baselines
+// (multi-threaded TF, Gandiva-style session time slicing, NVIDIA MPS).
+//
+// The package at the repository root is the public facade: create a
+// Simulation over one of the paper's machines, pick a scheduler, add
+// jobs, and advance virtual time.
+//
+//	sim := switchflow.NewSimulation(switchflow.V100Server())
+//	sched := sim.SwitchFlow()
+//	train, _ := sched.AddJob(switchflow.JobSpec{
+//		Name: "train", Model: "VGG16", Batch: 32, Train: true, Priority: 1,
+//	})
+//	serve, _ := sched.AddJob(switchflow.JobSpec{
+//		Name: "serve", Model: "ResNet50", Batch: 1, Priority: 2,
+//		ClosedLoop: true,
+//	})
+//	sim.RunFor(30 * time.Second)
+//	fmt.Println(train.Iterations(), serve.P95Latency())
+//
+// Every figure and table of the paper's evaluation can be regenerated with
+// cmd/swbench; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured results.
+package switchflow

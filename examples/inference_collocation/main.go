@@ -1,0 +1,64 @@
+// Inference collocation (Figure 6): compare the 95th-percentile latency of
+// a BS=1 inference stream collocated with a training job under
+// multi-threaded TF versus SwitchFlow, across several background models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"switchflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	backgrounds := []string{"MobileNetV2", "ResNet50", "VGG16"}
+	fmt.Println("inference: ResNet50 BS=1, closed-loop, 60 requests per cell")
+	fmt.Printf("%-14s %12s %12s %9s\n", "background", "tf p95", "sf p95", "speedup")
+	for _, bg := range backgrounds {
+		tf, err := measure(bg, func(s *switchflow.Simulation) switchflow.Scheduler {
+			return s.ThreadedTF()
+		})
+		if err != nil {
+			return err
+		}
+		sf, err := measure(bg, func(s *switchflow.Simulation) switchflow.Scheduler {
+			return s.SwitchFlow()
+		})
+		if err != nil {
+			return err
+		}
+		speedup := 0.0
+		if sf > 0 {
+			speedup = float64(tf) / float64(sf)
+		}
+		fmt.Printf("%-14s %12v %12v %8.2fx\n", bg,
+			tf.Round(time.Millisecond), sf.Round(time.Millisecond), speedup)
+	}
+	return nil
+}
+
+func measure(background string, build func(*switchflow.Simulation) switchflow.Scheduler) (time.Duration, error) {
+	sim := switchflow.NewSimulation(switchflow.V100Server())
+	sched := build(sim)
+	if _, err := sched.AddJob(switchflow.JobSpec{
+		Name: "train", Model: background, Batch: 32, Train: true, Priority: 1,
+	}); err != nil {
+		return 0, err
+	}
+	sim.RunFor(2 * time.Second)
+	serve, err := sched.AddJob(switchflow.JobSpec{
+		Name: "serve", Model: "ResNet50", Batch: 1, Priority: 2, ClosedLoop: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sim.RunWhile(10*time.Minute, func() bool { return serve.Requests() < 60 })
+	return serve.P95Latency(), nil
+}

@@ -1,0 +1,64 @@
+// Listing 1 of the paper, reproduced: a launcher program that enables
+// input sharing between a master and a secondary model purely through
+// TF_* environment variables, then launches both models — here against
+// the simulated SwitchFlow runtime instead of a patched TensorFlow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"switchflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Setup — verbatim from Listing 1.
+	os.Setenv("TF_SET_REUSE_INPUTS", "True")
+	os.Setenv("TF_REUSE_INPUT_OP_NAME_MASTER_X", "X00")
+	os.Setenv("TF_REUSE_INPUT_OP_NAME_MASTER_y", "y00")
+
+	// For a master and a secondary model (X01, y01).
+	os.Setenv("TF_REUSE_INPUT_OPS_NAME_SUB_X", "X01")
+	os.Setenv("TF_REUSE_INPUT_OPS_NAME_SUB_y", "y01")
+
+	sharing, err := switchflow.InputSharingFromEnv()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input sharing: enabled=%v master=(%s,%s) subs=%v group=%d models\n",
+		sharing.Enabled, sharing.MasterX, sharing.MasterY, sharing.SubX, sharing.Models())
+
+	sim := switchflow.NewSimulation(switchflow.V100Server())
+	sched := sim.SwitchFlow()
+
+	// graph_00 (master) and graph_01 (secondary) — two ResNet50s trained
+	// on the same input batches, like the paper's multi-task setup.
+	specs := make([]switchflow.JobSpec, 0, sharing.Models())
+	specs = append(specs, switchflow.JobSpec{
+		Name: "graph_00/" + sharing.MasterX, Model: "ResNet50", Batch: 64, Saturated: true,
+	})
+	for _, sub := range sharing.SubX {
+		specs = append(specs, switchflow.JobSpec{
+			Name: "graph_01/" + sub, Model: "ResNet50", Batch: 64, Saturated: true,
+		})
+	}
+	group, err := sched.AddSharedGroup(specs)
+	if err != nil {
+		return err
+	}
+
+	sim.RunFor(30 * time.Second)
+	for _, job := range group.Jobs() {
+		fmt.Printf("  %-16s %3d iterations (%.1f img/s)\n",
+			job.Name(), job.Iterations(), job.Throughput(30*time.Second))
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module switchflow
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package baseline implements the three comparison schedulers of §5:
+// multi-threaded TF (jobs share the GPU freely through separate streams),
+// session-based time slicing in the style of Gandiva (one job owns the
+// whole machine per session run), and NVIDIA MPS (free spatial sharing
+// with per-process memory reservations). All three drive the same
+// workload.Job runtime and device substrate as SwitchFlow, so differences
+// in outcomes come from scheduling policy alone.
+package baseline
+
+import (
+	"fmt"
+
+	"switchflow/internal/device"
+	"switchflow/internal/executor"
+	"switchflow/internal/sim"
+	"switchflow/internal/threadpool"
+	"switchflow/internal/workload"
+)
+
+// runtime holds what every baseline scheduler needs. Preprocessing runs in
+// each job's private tf.data pool, as TF datasets do.
+type runtime struct {
+	eng     *sim.Engine
+	machine *device.Machine
+	pool    *threadpool.Pool
+	ctxSeq  int
+}
+
+func newRuntime(eng *sim.Engine, machine *device.Machine) runtime {
+	return runtime{
+		eng:     eng,
+		machine: machine,
+		pool:    threadpool.New(eng, "global", machine.CPU.Cores),
+	}
+}
+
+func (rt *runtime) newJob(cfg workload.Config) (*workload.Job, error) {
+	rt.ctxSeq++
+	return workload.NewJob(rt.eng, rt.machine, rt.ctxSeq, cfg)
+}
+
+// runInput executes the job's CPU input stage; for all-CPU placements the
+// stage is free. onDone always fires (inline when the stage is trivial).
+func (rt *runtime) runInput(j *workload.Job, dev device.ID, onDone func()) {
+	v, err := j.Version(dev)
+	if err != nil {
+		j.Crash(err)
+		return
+	}
+	j.BeginInput()
+	if v.Input == nil {
+		j.FinishInput()
+		onDone()
+		return
+	}
+	_, err = j.StartExec(v.Input, executor.Config{Pool: rt.pool}, func() {
+		j.FinishInput()
+		onDone()
+	})
+	if err != nil {
+		j.Crash(err)
+	}
+}
+
+// runCompute executes the job's compute stage. A failed intermediate
+// allocation crashes the job (the TF-style runtime OOM of Figure 7) and
+// releases all of its device memory, as a dying process would.
+func (rt *runtime) runCompute(j *workload.Job, dev device.ID, onDone func()) {
+	v, err := j.Version(dev)
+	if err != nil {
+		j.Crash(err)
+		return
+	}
+	if err := j.AllocIntermediate(dev); err != nil {
+		rt.crashJob(j, dev, err)
+		return
+	}
+	j.BeginCompute()
+	cfg := executor.Config{Pool: rt.pool, Stream: j.Stream(dev)}
+	_, err = j.StartExec(v.Compute, cfg, func() {
+		j.FreeIntermediate(dev)
+		j.FinishCompute()
+		onDone()
+	})
+	if err != nil {
+		j.FreeIntermediate(dev)
+		rt.crashJob(j, dev, err)
+	}
+}
+
+// crashJob kills a job and returns its memory, like an exiting process.
+func (rt *runtime) crashJob(j *workload.Job, dev device.ID, err error) {
+	j.Crash(fmt.Errorf("job %s: %w", j.Cfg.Name, err))
+	j.FreeIntermediate(dev)
+	j.FreeWeights(dev)
+}
+
+// computeConfig wires a compute-stage executor to the runtime's pools and
+// the job's stream on dev.
+func (rt *runtime) computeConfig(j *workload.Job, dev device.ID) executor.Config {
+	return executor.Config{Pool: rt.pool, Stream: j.Stream(dev)}
+}

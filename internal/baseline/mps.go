@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"fmt"
+
+	"switchflow/internal/device"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// MPS models NVIDIA's Multi-Process Service: each job is its own process
+// whose kernels share the GPU spatially (same contention model as
+// threaded TF), but device memory is NOT shared between processes — each
+// TF process's BFC allocator grabs its peak demand plus growth headroom
+// up front. When the aggregate of reservations exceeds GPU capacity, the
+// later process crashes at launch (Figure 7 c and §5.2.2: every training
+// pair crashes on the 11 GB GPUs; only the 32 GB V100 fits two).
+type MPS struct {
+	rt       runtime
+	jobs     []*threadedJob
+	headroom map[*workload.Job]int64
+}
+
+// mpsAllocatorHeadroom scales the per-process intermediate reservation:
+// TF's region-growing allocator over-reserves well beyond the live
+// footprint, and under MPS that slack cannot be shared across processes.
+const mpsAllocatorHeadroom = 0.7
+
+// NewMPS creates the scheduler.
+func NewMPS(eng *sim.Engine, machine *device.Machine) *MPS {
+	return &MPS{
+		rt:       newRuntime(eng, machine),
+		headroom: make(map[*workload.Job]int64),
+	}
+}
+
+// AddJob admits a job, reserving its peak memory. A failed reservation
+// returns the job with CrashErr set (the process died at launch).
+func (s *MPS) AddJob(cfg workload.Config) (*workload.Job, error) {
+	job, err := s.rt.newJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tj := &threadedJob{job: job, dev: cfg.Device}
+	s.jobs = append(s.jobs, tj)
+	// The process reservation is its peak demand — weights plus the
+	// intermediate footprint plus allocator growth headroom — held for
+	// the process lifetime.
+	if err := job.AllocWeights(cfg.Device); err != nil {
+		job.Crash(fmt.Errorf("mps: launch %s: %w", cfg.Name, err))
+		return job, nil
+	}
+	if err := job.AllocIntermediate(cfg.Device); err != nil {
+		job.FreeWeights(cfg.Device)
+		job.Crash(fmt.Errorf("mps: launch %s: %w", cfg.Name, err))
+		return job, nil
+	}
+	if cfg.Device.Kind == device.KindGPU {
+		slack := int64(float64(job.IntermediateBytes()) * mpsAllocatorHeadroom)
+		if err := s.rt.machine.GPU(cfg.Device.Index).Mem.Alloc(slack); err != nil {
+			job.FreeIntermediate(cfg.Device)
+			job.FreeWeights(cfg.Device)
+			job.Crash(fmt.Errorf("mps: launch %s: %w", cfg.Name, err))
+			return job, nil
+		}
+		s.headroom[job] = slack
+	}
+	job.StartArrivals(func() { s.pump(tj) })
+	s.rt.eng.After(0, func() { s.pump(tj) })
+	return job, nil
+}
+
+// StopJob halts a job's loop and releases its reservation.
+func (s *MPS) StopJob(job *workload.Job) {
+	for _, tj := range s.jobs {
+		if tj.job == job {
+			tj.stopped = true
+			job.StopArrivals()
+			return
+		}
+	}
+}
+
+// pump drives a job exactly like threaded TF — MPS changes memory
+// semantics, not scheduling. The intermediate stays reserved for the
+// process lifetime, so the compute path skips per-iteration allocation.
+func (s *MPS) pump(tj *threadedJob) {
+	if tj.stopped || tj.job.Crashed() {
+		return
+	}
+	for tj.job.CanStartInput() {
+		s.rt.runInput(tj.job, tj.dev, func() { s.pump(tj) })
+		if tj.job.Crashed() {
+			return
+		}
+	}
+	if !tj.job.ComputeRunning && tj.job.InputAvailable() {
+		s.runComputeReserved(tj)
+	}
+}
+
+// runComputeReserved is runCompute without the per-iteration intermediate
+// alloc/free (the reservation persists).
+func (s *MPS) runComputeReserved(tj *threadedJob) {
+	v, err := tj.job.Version(tj.dev)
+	if err != nil {
+		tj.job.Crash(err)
+		return
+	}
+	tj.job.BeginCompute()
+	_, err = tj.job.StartExec(v.Compute, s.rt.computeConfig(tj.job, tj.dev), func() {
+		tj.job.FinishCompute()
+		s.pump(tj)
+	})
+	if err != nil {
+		tj.job.Crash(err)
+	}
+}

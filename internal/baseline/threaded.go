@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"switchflow/internal/device"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// ThreadedTF is the paper's primary baseline: one TF process running every
+// model from its own thread, each with its own compute stream. Nothing
+// arbitrates GPU access — kernels from different jobs co-run and contend,
+// and memory is allocated on demand, so collocated jobs can die of OOM
+// mid-training (Figure 7 a-b).
+type ThreadedTF struct {
+	rt   runtime
+	jobs []*threadedJob
+}
+
+type threadedJob struct {
+	job     *workload.Job
+	dev     device.ID
+	stopped bool
+}
+
+// NewThreadedTF creates the scheduler.
+func NewThreadedTF(eng *sim.Engine, machine *device.Machine) *ThreadedTF {
+	return &ThreadedTF{rt: newRuntime(eng, machine)}
+}
+
+// AddJob admits a job; weights are allocated eagerly (model load) and a
+// failure there crashes the job immediately rather than failing admission,
+// matching TF's lazy-discovery of memory exhaustion.
+func (s *ThreadedTF) AddJob(cfg workload.Config) (*workload.Job, error) {
+	job, err := s.rt.newJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tj := &threadedJob{job: job, dev: cfg.Device}
+	s.jobs = append(s.jobs, tj)
+	if err := job.AllocWeights(cfg.Device); err != nil {
+		s.rt.eng.After(0, func() { s.rt.crashJob(job, cfg.Device, err) })
+		return job, nil
+	}
+	job.StartArrivals(func() { s.pump(tj) })
+	s.rt.eng.After(0, func() { s.pump(tj) })
+	return job, nil
+}
+
+// StopJob halts a job's loop.
+func (s *ThreadedTF) StopJob(job *workload.Job) {
+	for _, tj := range s.jobs {
+		if tj.job == job {
+			tj.stopped = true
+			job.StopArrivals()
+			return
+		}
+	}
+}
+
+// pump drives a job's pipeline with no gating at all: input prefetches
+// freely and compute launches as soon as an input is ready.
+func (s *ThreadedTF) pump(tj *threadedJob) {
+	if tj.stopped || tj.job.Crashed() {
+		return
+	}
+	for tj.job.CanStartInput() {
+		s.rt.runInput(tj.job, tj.dev, func() { s.pump(tj) })
+		if tj.job.Crashed() {
+			return
+		}
+	}
+	if !tj.job.ComputeRunning && tj.job.InputAvailable() {
+		s.rt.runCompute(tj.job, tj.dev, func() { s.pump(tj) })
+	}
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"switchflow/internal/device"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// TimeSlice is session-based time slicing in the style of Gandiva [51]:
+// during one session run a single job owns the entire machine — both the
+// CPU input pipeline and the GPU — and jobs rotate round-robin at session
+// boundaries. There is no preemption (an arriving high-priority request
+// waits out the current session) and no cross-job overlap of CPU and GPU
+// stages, which is exactly the inefficiency §2.2 and Figures 8-10 measure.
+type TimeSlice struct {
+	rt       runtime
+	jobs     []*slicedJob
+	next     int
+	lockHeld bool
+}
+
+type slicedJob struct {
+	job     *workload.Job
+	dev     device.ID
+	stopped bool
+}
+
+// NewTimeSlice creates the scheduler.
+func NewTimeSlice(eng *sim.Engine, machine *device.Machine) *TimeSlice {
+	return &TimeSlice{rt: newRuntime(eng, machine)}
+}
+
+// AddJob admits a job.
+func (s *TimeSlice) AddJob(cfg workload.Config) (*workload.Job, error) {
+	job, err := s.rt.newJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.AllocWeights(cfg.Device); err != nil {
+		return nil, err
+	}
+	sj := &slicedJob{job: job, dev: cfg.Device}
+	s.jobs = append(s.jobs, sj)
+	job.StartArrivals(func() { s.pump() })
+	s.rt.eng.After(0, s.pump)
+	return job, nil
+}
+
+// StopJob halts a job's loop; its current session finishes.
+func (s *TimeSlice) StopJob(job *workload.Job) {
+	for _, sj := range s.jobs {
+		if sj.job == job {
+			sj.stopped = true
+			job.StopArrivals()
+			return
+		}
+	}
+}
+
+// pump grants the machine to the next job with work and runs one full
+// session (input then compute, serialized).
+func (s *TimeSlice) pump() {
+	if s.lockHeld || len(s.jobs) == 0 {
+		return
+	}
+	sj := s.pickNext()
+	if sj == nil {
+		return
+	}
+	s.lockHeld = true
+	s.runSession(sj)
+}
+
+// pickNext scans round-robin for a runnable job.
+func (s *TimeSlice) pickNext() *slicedJob {
+	for i := 0; i < len(s.jobs); i++ {
+		sj := s.jobs[(s.next+i)%len(s.jobs)]
+		if sj.stopped || sj.job.Crashed() {
+			continue
+		}
+		if sj.job.HasWork() || sj.job.CanStartInput() {
+			s.next = (s.next + i + 1) % len(s.jobs)
+			return sj
+		}
+	}
+	return nil
+}
+
+func (s *TimeSlice) runSession(sj *slicedJob) {
+	release := func() {
+		s.lockHeld = false
+		s.pump()
+	}
+	if sj.job.InputAvailable() {
+		// A previous turn already staged the input (can happen after a
+		// crash path); go straight to compute.
+		s.rt.runCompute(sj.job, sj.dev, release)
+		return
+	}
+	if !sj.job.CanStartInput() {
+		release()
+		return
+	}
+	s.rt.runInput(sj.job, sj.dev, func() {
+		if sj.job.Crashed() {
+			release()
+			return
+		}
+		s.rt.runCompute(sj.job, sj.dev, release)
+	})
+}

@@ -1,0 +1,188 @@
+// Package cluster schedules DL jobs across a fleet of machines, each node
+// running its own SwitchFlow session manager. It reproduces the
+// deployment context of §1-2: "DNN training jobs are usually allocated
+// dedicated GPUs while multiple inference jobs may be packed on a single
+// GPU" — and lets SwitchFlow relax exactly that constraint, collocating
+// inference with training safely because preemption bounds the tails.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"switchflow/internal/core"
+	"switchflow/internal/device"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// Node is one machine of the fleet.
+type Node struct {
+	// Name labels the node.
+	Name string
+
+	machine *device.Machine
+	mgr     *core.Manager
+	perGPU  []gpuLoad
+}
+
+type gpuLoad struct {
+	jobs     int
+	training int
+}
+
+// Machine exposes the node's hardware (stats, tests).
+func (n *Node) Machine() *device.Machine { return n.machine }
+
+// Manager exposes the node's SwitchFlow manager.
+func (n *Node) Manager() *core.Manager { return n.mgr }
+
+// Placement names where a job landed.
+type Placement struct {
+	Node string
+	GPU  int
+}
+
+// String implements fmt.Stringer.
+func (p Placement) String() string { return fmt.Sprintf("%s/gpu:%d", p.Node, p.GPU) }
+
+// JobHandle tracks one submitted job.
+type JobHandle struct {
+	// Cfg echoes the submission.
+	Cfg workload.Config
+	// Job is nil until the job is placed.
+	Job *workload.Job
+	// Placed reports whether placement succeeded.
+	Placed bool
+	// Where it landed.
+	Where Placement
+	// SubmittedAt and PlacedAt bound the queueing delay.
+	SubmittedAt time.Duration
+	PlacedAt    time.Duration
+}
+
+// QueueDelay is the time the job waited for placement.
+func (h *JobHandle) QueueDelay() time.Duration {
+	if !h.Placed {
+		return -1
+	}
+	return h.PlacedAt - h.SubmittedAt
+}
+
+// Cluster places jobs onto nodes.
+type Cluster struct {
+	eng    *sim.Engine
+	policy Policy
+	nodes  []*Node
+	queue  []*JobHandle
+	placed []*JobHandle
+}
+
+// New builds a cluster of count identical nodes, each with the given GPU
+// classes and a Xeon host.
+func New(eng *sim.Engine, policy Policy, count int, gpus ...device.GPUClass) *Cluster {
+	c := &Cluster{eng: eng, policy: policy}
+	for i := 0; i < count; i++ {
+		machine := device.NewMachine(eng, device.ClassXeonDual, gpus...)
+		c.nodes = append(c.nodes, &Node{
+			Name:    fmt.Sprintf("node%d", i),
+			machine: machine,
+			mgr:     core.NewManager(eng, machine, core.Options{}),
+			perGPU:  make([]gpuLoad, len(gpus)),
+		})
+	}
+	return c
+}
+
+// Nodes returns the fleet.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Submit schedules cfg for placement at the given virtual time (>= now).
+// The returned handle fills in as placement happens.
+func (c *Cluster) Submit(at time.Duration, cfg workload.Config) *JobHandle {
+	h := &JobHandle{Cfg: cfg, SubmittedAt: at}
+	c.eng.Schedule(at, func() {
+		if !c.tryPlace(h) {
+			c.queue = append(c.queue, h)
+		}
+	})
+	return h
+}
+
+// Queued returns jobs still waiting for placement.
+func (c *Cluster) Queued() int { return len(c.queue) }
+
+// Placed returns every placed handle.
+func (c *Cluster) Placed() []*JobHandle {
+	out := make([]*JobHandle, len(c.placed))
+	copy(out, c.placed)
+	return out
+}
+
+// Stop halts a placed job and retries queued placements (its memory is
+// retained until the job object is dropped; this models job completion
+// only approximately, so the retry mainly serves load-count policies).
+func (c *Cluster) Stop(h *JobHandle) {
+	if !h.Placed {
+		return
+	}
+	for _, n := range c.nodes {
+		if n.Name == h.Where.Node {
+			n.mgr.StopJob(h.Job)
+			n.perGPU[h.Where.GPU].jobs--
+			if h.Cfg.Kind == workload.KindTraining {
+				n.perGPU[h.Where.GPU].training--
+			}
+		}
+	}
+	c.retry()
+}
+
+func (c *Cluster) retry() {
+	kept := c.queue[:0]
+	for _, h := range c.queue {
+		if !c.tryPlace(h) {
+			kept = append(kept, h)
+		}
+	}
+	c.queue = kept
+}
+
+// tryPlace asks the policy for a slot and admits the job there.
+func (c *Cluster) tryPlace(h *JobHandle) bool {
+	node, gpu, ok := c.policy.Place(c, h.Cfg)
+	if !ok {
+		return false
+	}
+	cfg := h.Cfg
+	cfg.Device = device.GPUID(gpu)
+	job, err := node.mgr.AddJob(cfg)
+	if err != nil {
+		// The policy believed it fits but admission disagreed (e.g. a
+		// race with another placement this instant); keep queued.
+		return false
+	}
+	h.Job = job
+	h.Placed = true
+	h.Where = Placement{Node: node.Name, GPU: gpu}
+	h.PlacedAt = c.eng.Now()
+	node.perGPU[gpu].jobs++
+	if cfg.Kind == workload.KindTraining {
+		node.perGPU[gpu].training++
+	}
+	c.placed = append(c.placed, h)
+	return true
+}
+
+// freeWeightBytes estimates the admissible persistent state on a GPU.
+func freeWeightBytes(n *Node, gpu int) int64 {
+	return n.machine.GPU(gpu).Mem.Available()
+}
+
+// weightsNeeded returns the job's persistent-state demand.
+func weightsNeeded(cfg workload.Config) int64 {
+	if cfg.Kind == workload.KindTraining {
+		return cfg.Model.StatefulBytes()
+	}
+	return cfg.Model.ParamBytes()
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/models"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+func spec(t *testing.T, name string) *models.Spec {
+	t.Helper()
+	s, err := models.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func trainCfg(t *testing.T, name, model string) workload.Config {
+	return workload.Config{
+		Name: name, Model: spec(t, model), Batch: 32,
+		Kind: workload.KindTraining, Priority: 1,
+	}
+}
+
+func serveCfg(t *testing.T, name, model string) workload.Config {
+	return workload.Config{
+		Name: name, Model: spec(t, model), Batch: 1,
+		Kind: workload.KindServing, Priority: 2,
+		ArrivalEvery: 100 * time.Millisecond,
+	}
+}
+
+func TestFirstFitPlacesSequentially(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, FirstFit{}, 2, device.ClassV100, device.ClassV100)
+	h1 := c.Submit(0, trainCfg(t, "a", "ResNet50"))
+	h2 := c.Submit(0, trainCfg(t, "b", "ResNet50"))
+	eng.RunUntil(time.Second)
+	if !h1.Placed || !h2.Placed {
+		t.Fatalf("placements: %v %v", h1.Placed, h2.Placed)
+	}
+	// First fit stacks both on node0/gpu:0.
+	if h1.Where.String() != "node0/gpu:0" || h2.Where.String() != "node0/gpu:0" {
+		t.Fatalf("placements %v, %v; want both on node0/gpu:0", h1.Where, h2.Where)
+	}
+	if h1.QueueDelay() != 0 {
+		t.Fatalf("queue delay %v, want 0", h1.QueueDelay())
+	}
+}
+
+func TestLeastLoadedSpreads(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, LeastLoaded{}, 2, device.ClassV100, device.ClassV100)
+	var handles []*JobHandle
+	for i := 0; i < 4; i++ {
+		handles = append(handles, c.Submit(0, trainCfg(t, "t", "ResNet50")))
+	}
+	eng.RunUntil(time.Second)
+	seen := map[string]int{}
+	for _, h := range handles {
+		if !h.Placed {
+			t.Fatal("job not placed")
+		}
+		seen[h.Where.String()]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 jobs on %d distinct GPUs, want 4: %v", len(seen), seen)
+	}
+}
+
+func TestDedicateQueuesTrainingWhenFull(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Dedicate{}, 1, device.ClassV100, device.ClassV100)
+	a := c.Submit(0, trainCfg(t, "a", "ResNet50"))
+	b := c.Submit(0, trainCfg(t, "b", "ResNet50"))
+	queued := c.Submit(0, trainCfg(t, "c", "ResNet50"))
+	eng.RunUntil(time.Second)
+	if !a.Placed || !b.Placed {
+		t.Fatal("first two trainings not placed")
+	}
+	if queued.Placed {
+		t.Fatal("third training placed despite no empty GPU (dedicate)")
+	}
+	if c.Queued() != 1 {
+		t.Fatalf("Queued() = %d, want 1", c.Queued())
+	}
+	// Stopping a training frees its GPU slot for the queued one.
+	c.Stop(a)
+	eng.RunUntil(2 * time.Second)
+	if !queued.Placed {
+		t.Fatal("queued training not placed after a slot freed")
+	}
+	if queued.QueueDelay() <= 0 {
+		t.Fatalf("queue delay = %v, want positive", queued.QueueDelay())
+	}
+}
+
+func TestDedicateNeverMixesInferenceWithTraining(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Dedicate{}, 1, device.ClassV100, device.ClassV100)
+	train := c.Submit(0, trainCfg(t, "t", "ResNet50"))
+	s1 := c.Submit(0, serveCfg(t, "s1", "MobileNetV2"))
+	s2 := c.Submit(0, serveCfg(t, "s2", "ResNet50"))
+	eng.RunUntil(time.Second)
+	if !train.Placed || !s1.Placed || !s2.Placed {
+		t.Fatal("placements incomplete")
+	}
+	if s1.Where == train.Where || s2.Where == train.Where {
+		t.Fatalf("inference packed with training under dedicate: %v vs %v/%v",
+			train.Where, s1.Where, s2.Where)
+	}
+	// The two inference services pack together.
+	if s1.Where != s2.Where {
+		t.Fatalf("inference not packed: %v vs %v", s1.Where, s2.Where)
+	}
+}
+
+func TestCollocatePrefersTrainingGPUs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, Collocate{}, 1, device.ClassV100, device.ClassV100)
+	train := c.Submit(0, trainCfg(t, "t", "VGG16"))
+	eng.RunUntil(500 * time.Millisecond)
+	s := c.Submit(500*time.Millisecond, serveCfg(t, "s", "ResNet50"))
+	eng.RunUntil(10 * time.Second)
+	if !train.Placed || !s.Placed {
+		t.Fatal("placements incomplete")
+	}
+	if s.Where != train.Where {
+		t.Fatalf("collocate put inference on %v, training on %v", s.Where, train.Where)
+	}
+	// The collocated service still meets tight tails thanks to preemption.
+	if s.Job.Latencies.Count() == 0 {
+		t.Fatal("no requests served")
+	}
+	if p95 := s.Job.Latencies.Percentile(95); p95 > 300*time.Millisecond {
+		t.Fatalf("collocated p95 = %v", p95)
+	}
+	// And the training job keeps running on the same GPU.
+	if train.Job.Iterations == 0 {
+		t.Fatal("training made no progress while collocated")
+	}
+}
+
+func TestClusterJobsRunIndependentlyPerNode(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, LeastLoaded{}, 2, device.ClassV100)
+	a := c.Submit(0, trainCfg(t, "a", "ResNet50"))
+	b := c.Submit(0, trainCfg(t, "b", "ResNet50"))
+	eng.RunUntil(5 * time.Second)
+	if a.Where.Node == b.Where.Node {
+		t.Fatalf("least-loaded stacked both on %s", a.Where.Node)
+	}
+	// Two dedicated nodes: both train at full solo speed.
+	if a.Job.Iterations == 0 || b.Job.Iterations == 0 {
+		t.Fatal("cluster jobs made no progress")
+	}
+	diff := a.Job.Iterations - b.Job.Iterations
+	if diff < -1 || diff > 1 {
+		t.Fatalf("identical jobs diverged: %d vs %d", a.Job.Iterations, b.Job.Iterations)
+	}
+}

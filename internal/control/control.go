@@ -1,0 +1,324 @@
+// Package control exposes a SwitchFlow simulation over HTTP/JSON — the
+// model-submission service the paper sketches as future work ("this
+// implementation can be improved to employ the gRPC interface for model
+// submission, in a way similar to TF serving", §4). Clients submit jobs,
+// advance virtual time, and read per-job and per-device statistics.
+//
+// Endpoints:
+//
+//	GET  /v1/status          simulation time, GPUs, scheduler counters
+//	GET  /v1/models          the model zoo
+//	GET  /v1/jobs            all jobs with stats
+//	POST /v1/jobs            submit a job (JobRequest) -> JobInfo
+//	GET  /v1/jobs/{id}       one job
+//	DELETE /v1/jobs/{id}     stop a job
+//	POST /v1/groups          submit a shared-input group ([]JobRequest)
+//	POST /v1/advance         advance virtual time (AdvanceRequest)
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"switchflow"
+)
+
+// JobRequest is the submission payload.
+type JobRequest struct {
+	Name         string `json:"name"`
+	Model        string `json:"model"`
+	Batch        int    `json:"batch"`
+	Train        bool   `json:"train"`
+	Priority     int    `json:"priority"`
+	GPU          int    `json:"gpu"`
+	FallbackGPUs []int  `json:"fallbackGpus,omitempty"`
+	FallbackCPU  bool   `json:"fallbackCpu,omitempty"`
+	ServeEveryMS int    `json:"serveEveryMillis,omitempty"`
+	ClosedLoop   bool   `json:"closedLoop,omitempty"`
+	Saturated    bool   `json:"saturated,omitempty"`
+}
+
+// JobInfo is the per-job status payload.
+type JobInfo struct {
+	ID         int     `json:"id"`
+	Name       string  `json:"name"`
+	Model      string  `json:"model"`
+	Device     string  `json:"device"`
+	Iterations int     `json:"iterations"`
+	Requests   int     `json:"requests"`
+	P95Millis  float64 `json:"p95Millis"`
+	Crashed    bool    `json:"crashed"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// StatusInfo is the simulation-wide status payload.
+type StatusInfo struct {
+	Machine      string    `json:"machine"`
+	NowMillis    float64   `json:"nowMillis"`
+	GPUs         []GPUInfo `json:"gpus"`
+	Jobs         int       `json:"jobs"`
+	Preemptions  int       `json:"preemptions"`
+	Migrations   int       `json:"migrations"`
+	GrantP95Usec float64   `json:"grantP95Micros"`
+}
+
+// GPUInfo is per-device status.
+type GPUInfo struct {
+	Index      int     `json:"index"`
+	BusyMillis float64 `json:"busyMillis"`
+	MemUsed    int64   `json:"memUsedBytes"`
+}
+
+// AdvanceRequest advances virtual time.
+type AdvanceRequest struct {
+	ForMillis int `json:"forMillis"`
+}
+
+// AdvanceResponse reports the new clock.
+type AdvanceResponse struct {
+	NowMillis float64 `json:"nowMillis"`
+}
+
+// Server serves one simulation. The simulation is single-threaded; every
+// handler holds the mutex while touching it.
+type Server struct {
+	mu      sync.Mutex
+	machine string
+	sim     *switchflow.Simulation
+	sched   *switchflow.SwitchFlowScheduler
+	jobs    map[int]*jobEntry
+	nextID  int
+}
+
+type jobEntry struct {
+	id    int
+	model string
+	job   *switchflow.Job
+}
+
+// NewServer creates a control server over a fresh simulation of the named
+// machine ("v100", "2gpu", "tx2").
+func NewServer(machine string) (*Server, error) {
+	spec, err := machineSpec(machine)
+	if err != nil {
+		return nil, err
+	}
+	sim := switchflow.NewSimulation(spec)
+	return &Server{
+		machine: spec.Name(),
+		sim:     sim,
+		sched:   sim.SwitchFlow(),
+		jobs:    make(map[int]*jobEntry),
+	}, nil
+}
+
+func machineSpec(name string) (switchflow.MachineSpec, error) {
+	switch strings.ToLower(name) {
+	case "v100", "":
+		return switchflow.V100Server(), nil
+	case "2gpu":
+		return switchflow.TwoGPUServer(), nil
+	case "tx2":
+		return switchflow.JetsonTX2(), nil
+	default:
+		return switchflow.SingleGPU(name)
+	}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleStopJob)
+	mux.HandleFunc("POST /v1/groups", s.handleSubmitGroup)
+	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	return mux
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status := StatusInfo{
+		Machine:      s.machine,
+		NowMillis:    s.sim.Now().Seconds() * 1e3,
+		Jobs:         len(s.jobs),
+		Preemptions:  s.sched.Preemptions(),
+		Migrations:   s.sched.Migrations(),
+		GrantP95Usec: float64(s.sched.PreemptionP95().Microseconds()),
+	}
+	for i := 0; i < s.sim.GPUCount(); i++ {
+		status.GPUs = append(status.GPUs, GPUInfo{
+			Index:      i,
+			BusyMillis: s.sim.GPUBusy(i).Seconds() * 1e3,
+			MemUsed:    s.sim.GPUMemoryUsed(i),
+		})
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, switchflow.Models())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := make([]JobInfo, 0, len(s.jobs))
+	for id := 1; id <= s.nextID; id++ {
+		if entry, ok := s.jobs[id]; ok {
+			infos = append(infos, s.info(entry))
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, err := s.sched.AddJob(toSpec(req))
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	entry := s.track(req.Model, job)
+	writeJSON(w, http.StatusCreated, s.info(entry))
+}
+
+func (s *Server) handleSubmitGroup(w http.ResponseWriter, r *http.Request) {
+	var reqs []JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	specs := make([]switchflow.JobSpec, len(reqs))
+	for i, req := range reqs {
+		specs[i] = toSpec(req)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	group, err := s.sched.AddSharedGroup(specs)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	infos := make([]JobInfo, 0, len(reqs))
+	for i, job := range group.Jobs() {
+		infos = append(infos, s.info(s.track(reqs[i].Model, job)))
+	}
+	writeJSON(w, http.StatusCreated, infos)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(entry))
+}
+
+func (s *Server) handleStopJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.sched.StopJob(entry.job)
+	writeJSON(w, http.StatusOK, s.info(entry))
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.ForMillis <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("forMillis must be positive, got %d", req.ForMillis))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sim.RunFor(time.Duration(req.ForMillis) * time.Millisecond)
+	writeJSON(w, http.StatusOK, AdvanceResponse{NowMillis: s.sim.Now().Seconds() * 1e3})
+}
+
+func (s *Server) track(model string, job *switchflow.Job) *jobEntry {
+	s.nextID++
+	entry := &jobEntry{id: s.nextID, model: model, job: job}
+	s.jobs[entry.id] = entry
+	return entry
+}
+
+func (s *Server) lookup(r *http.Request) (*jobEntry, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return nil, fmt.Errorf("bad job id %q", r.PathValue("id"))
+	}
+	entry, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("job %d not found", id)
+	}
+	return entry, nil
+}
+
+func (s *Server) info(entry *jobEntry) JobInfo {
+	info := JobInfo{
+		ID:         entry.id,
+		Name:       entry.job.Name(),
+		Model:      entry.model,
+		Device:     s.sched.JobDeviceName(entry.job),
+		Iterations: entry.job.Iterations(),
+		Requests:   entry.job.Requests(),
+		P95Millis:  entry.job.P95Latency().Seconds() * 1e3,
+		Crashed:    entry.job.Crashed(),
+	}
+	if err := entry.job.Err(); err != nil {
+		info.Error = err.Error()
+	}
+	return info
+}
+
+func toSpec(req JobRequest) switchflow.JobSpec {
+	return switchflow.JobSpec{
+		Name:         req.Name,
+		Model:        req.Model,
+		Batch:        req.Batch,
+		Train:        req.Train,
+		Priority:     req.Priority,
+		GPU:          req.GPU,
+		FallbackGPUs: req.FallbackGPUs,
+		FallbackCPU:  req.FallbackCPU,
+		ServeEvery:   time.Duration(req.ServeEveryMS) * time.Millisecond,
+		ClosedLoop:   req.ClosedLoop,
+		Saturated:    req.Saturated,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,260 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := NewServer("v100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s %s: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSubmitAdvanceAndQuery(t *testing.T) {
+	ts := newTestServer(t)
+
+	var created JobInfo
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "train", Model: "ResNet50", Batch: 16, Train: true, Priority: 1,
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d", code)
+	}
+	if created.ID != 1 || created.Device != "gpu:0" {
+		t.Fatalf("created = %+v", created)
+	}
+
+	var adv AdvanceResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 5000}, &adv); code != 200 {
+		t.Fatalf("advance status = %d", code)
+	}
+	if adv.NowMillis != 5000 {
+		t.Fatalf("NowMillis = %v, want 5000", adv.NowMillis)
+	}
+
+	var info JobInfo
+	if code := doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID), nil, &info); code != 200 {
+		t.Fatalf("get status = %d", code)
+	}
+	if info.Iterations < 5 {
+		t.Fatalf("job made %d iterations in 5s of virtual time", info.Iterations)
+	}
+
+	var status StatusInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/status", nil, &status); code != 200 {
+		t.Fatalf("status code = %d", code)
+	}
+	if status.Jobs != 1 || len(status.GPUs) != 4 {
+		t.Fatalf("status = %+v", status)
+	}
+	if status.GPUs[0].BusyMillis == 0 {
+		t.Fatal("gpu:0 reported idle despite training")
+	}
+}
+
+func TestPreemptionVisibleOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "train", Model: "VGG16", Batch: 32, Train: true, Priority: 1,
+	}, nil)
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil)
+	var serve JobInfo
+	doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "serve", Model: "ResNet50", Batch: 1, Priority: 2, ClosedLoop: true,
+	}, &serve)
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 10000}, nil)
+
+	var status StatusInfo
+	doJSON(t, "GET", ts.URL+"/v1/status", nil, &status)
+	if status.Preemptions == 0 {
+		t.Fatal("no preemptions visible")
+	}
+	var info JobInfo
+	doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, serve.ID), nil, &info)
+	if info.Requests == 0 || info.P95Millis == 0 {
+		t.Fatalf("serving stats empty: %+v", info)
+	}
+	if info.P95Millis > 300 {
+		t.Fatalf("p95 = %.1f ms under SwitchFlow", info.P95Millis)
+	}
+}
+
+func TestStopJob(t *testing.T) {
+	ts := newTestServer(t)
+	var created JobInfo
+	doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "train", Model: "MobileNetV2", Batch: 16, Train: true,
+	}, &created)
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil)
+	if code := doJSON(t, "DELETE", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID), nil, nil); code != 200 {
+		t.Fatalf("stop status = %d", code)
+	}
+	var before JobInfo
+	doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID), nil, &before)
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 5000}, nil)
+	var after JobInfo
+	doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID), nil, &after)
+	if after.Iterations > before.Iterations+2 {
+		t.Fatalf("stopped job advanced %d -> %d", before.Iterations, after.Iterations)
+	}
+}
+
+func TestGroupSubmission(t *testing.T) {
+	ts := newTestServer(t)
+	reqs := []JobRequest{
+		{Name: "m0", Model: "ResNet50", Batch: 32, Saturated: true},
+		{Name: "m1", Model: "ResNet50", Batch: 32, Saturated: true},
+	}
+	var infos []JobInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/groups", reqs, &infos); code != http.StatusCreated {
+		t.Fatalf("group status = %d", code)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("group created %d jobs", len(infos))
+	}
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 10000}, nil)
+	var listed []JobInfo
+	doJSON(t, "GET", ts.URL+"/v1/jobs", nil, &listed)
+	if len(listed) != 2 || listed[0].Iterations == 0 {
+		t.Fatalf("group jobs: %+v", listed)
+	}
+	if diff := listed[0].Iterations - listed[1].Iterations; diff < -1 || diff > 1 {
+		t.Fatalf("lockstep violated over HTTP: %+v", listed)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	var out map[string]string
+
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{Name: "x", Model: "NoNet", Batch: 8}, &out); code != http.StatusConflict {
+		t.Fatalf("unknown model status = %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/99", nil, &out); code != http.StatusNotFound {
+		t.Fatalf("missing job status = %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: -1}, &out); code != http.StatusBadRequest {
+		t.Fatalf("bad advance status = %d", code)
+	}
+	var models []string
+	if code := doJSON(t, "GET", ts.URL+"/v1/models", nil, &models); code != 200 || len(models) != 12 {
+		t.Fatalf("models: %d %v", code, models)
+	}
+}
+
+func TestNewServerMachines(t *testing.T) {
+	for _, machine := range []string{"v100", "2gpu", "tx2", "GTX 1080 Ti"} {
+		if _, err := NewServer(machine); err != nil {
+			t.Errorf("NewServer(%q): %v", machine, err)
+		}
+	}
+	if _, err := NewServer("TPUv4"); err == nil {
+		t.Error("NewServer(TPUv4) accepted")
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	raw := `{
+		"machine": "v100",
+		"scheduler": "switchflow",
+		"durationMillis": 5000,
+		"jobs": [
+			{"name": "train", "model": "ResNet50", "batch": 16, "train": true, "priority": 1},
+			{"name": "serve", "model": "MobileNetV2", "batch": 1, "priority": 2, "closedLoop": true}
+		]
+	}`
+	sc, err := ParseScenario(bytes.NewBufferString(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("got %d jobs", len(res.Jobs))
+	}
+	if res.Jobs[0].Iterations == 0 {
+		t.Fatal("training made no progress")
+	}
+	if res.Jobs[1].Requests == 0 {
+		t.Fatal("serving made no progress")
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("no preemptions in collocation scenario")
+	}
+}
+
+func TestScenarioWithGroup(t *testing.T) {
+	raw := `{
+		"machine": "v100",
+		"durationMillis": 10000,
+		"groups": [[
+			{"name": "m0", "model": "ResNet50", "batch": 32, "saturated": true},
+			{"name": "m1", "model": "ResNet50", "batch": 32, "saturated": true}
+		]]
+	}`
+	sc, err := ParseScenario(bytes.NewBufferString(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 || res.Jobs[0].Iterations == 0 {
+		t.Fatalf("group result: %+v", res.Jobs)
+	}
+	if diff := res.Jobs[0].Iterations - res.Jobs[1].Iterations; diff < -1 || diff > 1 {
+		t.Fatalf("lockstep violated: %+v", res.Jobs)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := ParseScenario(bytes.NewBufferString(`{"durationMillis": 0, "jobs": []}`)); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	if _, err := ParseScenario(bytes.NewBufferString(`{"bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	sc := Scenario{Machine: "v100", Scheduler: "timeslice", DurationMillis: 100,
+		Groups: [][]JobRequest{{{Name: "a", Model: "ResNet50", Batch: 8}}}}
+	if _, err := RunScenario(sc); err == nil {
+		t.Fatal("group under non-switchflow scheduler accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"switchflow"
+)
+
+// Scenario is a declarative collocation experiment: a machine, a
+// scheduler, a set of jobs (and optional shared-input groups), and a
+// virtual-time window.
+type Scenario struct {
+	Machine        string         `json:"machine"`
+	Scheduler      string         `json:"scheduler"`
+	DurationMillis int            `json:"durationMillis"`
+	Jobs           []JobRequest   `json:"jobs"`
+	Groups         [][]JobRequest `json:"groups,omitempty"`
+}
+
+// ScenarioResult reports per-job outcomes of a scenario run.
+type ScenarioResult struct {
+	Machine     string    `json:"machine"`
+	Scheduler   string    `json:"scheduler"`
+	Window      string    `json:"window"`
+	Jobs        []JobInfo `json:"jobs"`
+	Preemptions int       `json:"preemptions"`
+	Migrations  int       `json:"migrations"`
+}
+
+// ParseScenario decodes a scenario from JSON.
+func ParseScenario(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("control: decode scenario: %w", err)
+	}
+	if sc.DurationMillis <= 0 {
+		return Scenario{}, fmt.Errorf("control: scenario durationMillis must be positive")
+	}
+	if len(sc.Jobs) == 0 && len(sc.Groups) == 0 {
+		return Scenario{}, fmt.Errorf("control: scenario has no jobs")
+	}
+	return sc, nil
+}
+
+// ToSpec converts the request to the facade's JobSpec.
+func (r JobRequest) ToSpec() switchflow.JobSpec { return toSpec(r) }
+
+// RunScenario executes the scenario in virtual time and returns the
+// outcomes.
+func RunScenario(sc Scenario) (ScenarioResult, error) {
+	spec, err := machineSpec(sc.Machine)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	sim := switchflow.NewSimulation(spec)
+
+	var sched switchflow.Scheduler
+	var sf *switchflow.SwitchFlowScheduler
+	switch sc.Scheduler {
+	case "switchflow", "":
+		sf = sim.SwitchFlow()
+		sched = sf
+	case "threaded":
+		sched = sim.ThreadedTF()
+	case "timeslice":
+		sched = sim.TimeSlice()
+	case "mps":
+		sched = sim.MPS()
+	default:
+		return ScenarioResult{}, fmt.Errorf("control: unknown scheduler %q", sc.Scheduler)
+	}
+
+	type namedJob struct {
+		model string
+		job   *switchflow.Job
+	}
+	var jobs []namedJob
+	for _, req := range sc.Jobs {
+		job, err := sched.AddJob(req.ToSpec())
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		jobs = append(jobs, namedJob{model: req.Model, job: job})
+	}
+	for _, groupReqs := range sc.Groups {
+		if sf == nil {
+			return ScenarioResult{}, fmt.Errorf("control: groups need the switchflow scheduler")
+		}
+		specs := make([]switchflow.JobSpec, len(groupReqs))
+		for i, req := range groupReqs {
+			specs[i] = req.ToSpec()
+		}
+		group, err := sf.AddSharedGroup(specs)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		for i, job := range group.Jobs() {
+			jobs = append(jobs, namedJob{model: groupReqs[i].Model, job: job})
+		}
+	}
+
+	window := time.Duration(sc.DurationMillis) * time.Millisecond
+	sim.RunFor(window)
+
+	result := ScenarioResult{
+		Machine:   spec.Name(),
+		Scheduler: sched.Name(),
+		Window:    window.String(),
+	}
+	for i, nj := range jobs {
+		info := JobInfo{
+			ID:         i + 1,
+			Name:       nj.job.Name(),
+			Model:      nj.model,
+			Iterations: nj.job.Iterations(),
+			Requests:   nj.job.Requests(),
+			P95Millis:  nj.job.P95Latency().Seconds() * 1e3,
+			Crashed:    nj.job.Crashed(),
+		}
+		if sf != nil {
+			info.Device = sf.JobDeviceName(nj.job)
+		}
+		if err := nj.job.Err(); err != nil {
+			info.Error = err.Error()
+		}
+		result.Jobs = append(result.Jobs, info)
+	}
+	if sf != nil {
+		result.Preemptions = sf.Preemptions()
+		result.Migrations = sf.Migrations()
+	}
+	return result, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"switchflow/internal/executor"
+	"switchflow/internal/workload"
+)
+
+// Group is a set of correlated jobs sharing one input pipeline (§3.4,
+// Listing 1): the master's CPU preprocessing stage runs once per batch,
+// the processed tensor is cached immutably on the GPU, and every member's
+// GPU executor consumes it in lockstep round-robin before the group moves
+// to the next batch.
+type Group struct {
+	m       *Manager
+	members []*jobState
+
+	inputReady   int
+	inputRunning bool
+	depth        int
+	turn         int
+	busy         bool
+	stopped      bool
+}
+
+// AddSharedGroup admits a set of jobs that share the data preprocessing
+// stage. All members must target the same device and batch size (they are
+// trained/served in lockstep on identical input batches).
+func (m *Manager) AddSharedGroup(cfgs []workload.Config) (*Group, []*workload.Job, error) {
+	if len(cfgs) < 2 {
+		return nil, nil, fmt.Errorf("core: a shared group needs at least 2 jobs, got %d", len(cfgs))
+	}
+	for _, cfg := range cfgs[1:] {
+		if cfg.Device != cfgs[0].Device {
+			return nil, nil, fmt.Errorf("core: shared group members must target one device")
+		}
+		if cfg.Batch != cfgs[0].Batch {
+			return nil, nil, fmt.Errorf("core: shared group members must share the batch size")
+		}
+	}
+	g := &Group{m: m, depth: 2}
+	var jobs []*workload.Job
+	for _, cfg := range cfgs {
+		m.ctxSeq++
+		job, err := workload.NewJob(m.eng, m.machine, m.ctxSeq, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := job.AllocWeights(cfg.Device); err != nil {
+			return nil, nil, fmt.Errorf("core: admit %s: %w", cfg.Name, err)
+		}
+		js := &jobState{job: job, current: cfg.Device, weightsReady: true}
+		g.members = append(g.members, js)
+		jobs = append(jobs, job)
+	}
+	m.groups = append(m.groups, g)
+	m.eng.After(0, g.pump)
+	return g, jobs, nil
+}
+
+// Stop halts the group after in-flight stages complete.
+func (g *Group) Stop() { g.stopped = true }
+
+// Iterations returns the completed iteration count of each member.
+func (g *Group) Iterations() []int {
+	counts := make([]int, len(g.members))
+	for i, js := range g.members {
+		counts[i] = js.job.Iterations
+	}
+	return counts
+}
+
+// pump drives the group's lockstep schedule: a shared CPU input stage
+// (prefetching up to depth batches ahead) and one member GPU executor at a
+// time, round-robin.
+func (g *Group) pump() {
+	if g.stopped {
+		return
+	}
+	g.pumpInput()
+	g.pumpCompute()
+}
+
+func (g *Group) pumpInput() {
+	if g.inputRunning || g.inputReady >= g.depth {
+		return
+	}
+	master := g.members[0]
+	v, err := master.job.Version(master.current)
+	if err != nil {
+		master.job.Crash(err)
+		return
+	}
+	if v.Input == nil {
+		g.inputReady++
+		return
+	}
+	g.inputRunning = true
+	_, err = master.job.StartExec(v.Input, executor.Config{Pool: g.m.global}, func() {
+		g.inputRunning = false
+		g.inputReady++
+		g.pump()
+	})
+	if err != nil {
+		master.job.Crash(err)
+		g.inputRunning = false
+	}
+}
+
+// pumpCompute runs the next member's GPU executor on the cached batch.
+// A batch is consumed once every member has processed it.
+func (g *Group) pumpCompute() {
+	if g.busy || g.inputReady == 0 {
+		return
+	}
+	js := g.members[g.turn]
+	if js.job.Crashed() {
+		g.advanceTurn()
+		return
+	}
+	g.busy = true
+	dev := js.current
+	js.acquiredAt = g.m.eng.Now()
+	g.m.acquire(dev.Index, js, func() {
+		js.holding = true
+		g.runMember(js)
+	})
+}
+
+func (g *Group) runMember(js *jobState) {
+	v, err := js.job.Version(js.current)
+	if err != nil {
+		g.memberFailed(js, err)
+		return
+	}
+	if err := js.job.AllocIntermediate(js.current); err != nil {
+		g.memberFailed(js, err)
+		return
+	}
+	cfg := executor.Config{Pool: g.m.global, Stream: js.job.Stream(js.current)}
+	run, err := js.job.StartExec(v.Compute, cfg, func() {
+		js.computeRun = nil
+		js.job.FreeIntermediate(js.current)
+		js.job.Iterations++
+		js.holding = false
+		g.m.release(js.current.Index)
+		g.busy = false
+		g.advanceTurn()
+	})
+	if err != nil {
+		js.job.FreeIntermediate(js.current)
+		g.memberFailed(js, err)
+		return
+	}
+	js.computeRun = run
+}
+
+func (g *Group) memberFailed(js *jobState, err error) {
+	js.job.Crash(err)
+	js.holding = false
+	g.m.release(js.current.Index)
+	g.busy = false
+	g.advanceTurn()
+}
+
+// advanceTurn moves to the next member; when every member has seen the
+// batch, it is released and the group fetches the next one.
+func (g *Group) advanceTurn() {
+	g.turn++
+	if g.turn == len(g.members) {
+		g.turn = 0
+		g.inputReady--
+	}
+	g.pump()
+}

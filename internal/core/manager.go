@@ -1,0 +1,438 @@
+// Package core implements the SwitchFlow scheduling framework (§3): a
+// session manager that shares one global thread pool among all jobs,
+// enforces the two scheduling invariants (no two GPU executors co-run on
+// one GPU; everything else runs freely), preempts low-priority jobs with
+// low latency by aborting queued nodes and letting in-flight kernels
+// drain, migrates preempted jobs to replicated executors on other devices
+// with asynchronous state transfer, and merges correlated jobs' input
+// stages for multi-task learning.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/executor"
+	"switchflow/internal/metrics"
+	"switchflow/internal/sim"
+	"switchflow/internal/threadpool"
+	"switchflow/internal/workload"
+)
+
+// Options configure a Manager. The zero value selects the paper's design;
+// the booleans exist for the ablation experiments.
+type Options struct {
+	// TempPoolThreads sizes the temporary pool (§3.3); default 4.
+	TempPoolThreads int
+	// DisableGPUExclusive turns off scheduling invariant 1 (ablation):
+	// GPU executors co-run and contend.
+	DisableGPUExclusive bool
+	// DisableFreeCPUExecutors turns off invariant 2 (ablation): a job's
+	// input stage only runs while it holds the GPU, degenerating into
+	// session-based time slicing.
+	DisableFreeCPUExecutors bool
+	// SyncStateTransfer makes migration state transfer block the
+	// preempting job (ablation of §3.3's async design).
+	SyncStateTransfer bool
+	// DisableTempPoolIsolation keeps preempted jobs on the global pool
+	// (ablation): their task dispatch interferes with the preempter.
+	DisableTempPoolIsolation bool
+	// CheckpointPreemption replaces SwitchFlow's abort-and-resume with
+	// Gandiva-style suspend-resume (§6): the victim finishes its current
+	// mini-batch, checkpoints its full state to host memory, and restores
+	// it before running again — putting hundreds of MiB of transfer on
+	// the preemption critical path.
+	CheckpointPreemption bool
+}
+
+// Manager is the SwitchFlow session manager.
+type Manager struct {
+	eng     *sim.Engine
+	machine *device.Machine
+	opts    Options
+	global  *threadpool.Pool
+	temp    *threadpool.Pool
+	arbs    map[int]*arbiter
+	jobs    []*jobState
+	groups  []*Group
+	ctxSeq  int
+
+	// PreemptionLatencies records request-to-grant times for preemptive
+	// acquisitions (§5.2.3).
+	PreemptionLatencies metrics.Latency
+	// Preemptions counts preemption events.
+	Preemptions int
+	// Migrations counts device migrations.
+	Migrations int
+}
+
+type jobState struct {
+	job          *workload.Job
+	current      device.ID
+	weightsReady bool
+	inTempPool   bool
+	holding      bool
+	waiting      bool
+	preempting   bool
+	stopped      bool
+	computeRun   *executor.Run
+	acquiredAt   time.Duration
+
+	// Checkpoint-preemption state (Options.CheckpointPreemption).
+	checkpointRequested bool
+	checkpointed        bool
+	restoring           bool
+}
+
+// NewManager creates a SwitchFlow manager over the machine. The global
+// pool has one worker per core; the temporary pool's threads come out of
+// the same core budget (§3.3).
+func NewManager(eng *sim.Engine, machine *device.Machine, opts Options) *Manager {
+	if opts.TempPoolThreads <= 0 {
+		opts.TempPoolThreads = 4
+	}
+	if opts.TempPoolThreads >= machine.CPU.Cores {
+		opts.TempPoolThreads = machine.CPU.Cores / 2
+		if opts.TempPoolThreads == 0 {
+			opts.TempPoolThreads = 1
+		}
+	}
+	m := &Manager{
+		eng:     eng,
+		machine: machine,
+		opts:    opts,
+		global:  threadpool.New(eng, "global", machine.CPU.Cores-opts.TempPoolThreads),
+		temp:    threadpool.New(eng, "temporary", opts.TempPoolThreads),
+		arbs:    make(map[int]*arbiter),
+	}
+	for i := range machine.GPUs {
+		m.arbs[i] = &arbiter{}
+	}
+	return m
+}
+
+// GlobalPool exposes the shared inter-op worker pool (tests, experiments).
+func (m *Manager) GlobalPool() *threadpool.Pool { return m.global }
+
+// TempPool exposes the temporary pool.
+func (m *Manager) TempPool() *threadpool.Pool { return m.temp }
+
+// AddJob admits a job: its persistent state is allocated on the preferred
+// device up front, so admission fails (rather than the job crashing later)
+// when the aggregate weights of collocated models exceed GPU memory —
+// SwitchFlow's OOM-freedom contract (§3.4).
+func (m *Manager) AddJob(cfg workload.Config) (*workload.Job, error) {
+	m.ctxSeq++
+	job, err := workload.NewJob(m.eng, m.machine, m.ctxSeq, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.AllocWeights(cfg.Device); err != nil {
+		return nil, fmt.Errorf("core: admit %s: %w", cfg.Name, err)
+	}
+	js := &jobState{job: job, current: cfg.Device, weightsReady: true}
+	m.jobs = append(m.jobs, js)
+	job.StartArrivals(func() { m.pump(js) })
+	m.eng.After(0, func() { m.pump(js) })
+	return job, nil
+}
+
+// StopJob halts a job's loop after its in-flight stages complete.
+func (m *Manager) StopJob(job *workload.Job) {
+	for _, js := range m.jobs {
+		if js.job == job {
+			js.stopped = true
+			job.StopArrivals()
+			return
+		}
+	}
+}
+
+// JobDevice reports the device a job currently runs on.
+func (m *Manager) JobDevice(job *workload.Job) device.ID {
+	for _, js := range m.jobs {
+		if js.job == job {
+			return js.current
+		}
+	}
+	return device.ID{}
+}
+
+// pump advances a job's pipeline; it is called on every relevant state
+// change and is idempotent.
+func (m *Manager) pump(js *jobState) {
+	if js.stopped || js.job.Crashed() || js.preempting {
+		return
+	}
+	if m.opts.DisableFreeCPUExecutors {
+		m.pumpCoupled(js)
+		return
+	}
+	m.pumpInput(js)
+	m.pumpCompute(js)
+}
+
+// pumpInput starts the CPU input stage whenever a prefetch slot is free —
+// invariant 2: CPU executors run without restriction (§3.4).
+func (m *Manager) pumpInput(js *jobState) {
+	v, err := js.job.Version(js.current)
+	if err != nil {
+		js.job.Crash(err)
+		return
+	}
+	if v.Input == nil {
+		// All-CPU placement: the compute subgraph includes preprocessing;
+		// input slots fill instantly.
+		if js.job.CanStartInput() {
+			js.job.BeginInput()
+			js.job.FinishInput()
+		}
+		return
+	}
+	pool := m.poolFor(js)
+	for js.job.CanStartInput() {
+		js.job.BeginInput()
+		_, err := js.job.StartExec(v.Input, executor.Config{Pool: pool}, func() {
+			js.job.FinishInput()
+			m.pump(js)
+		})
+		if err != nil {
+			js.job.Crash(err)
+			return
+		}
+	}
+}
+
+// pumpCompute starts (or resumes) the compute stage when work is ready,
+// acquiring the GPU arbiter first — invariant 1 (§3.4).
+func (m *Manager) pumpCompute(js *jobState) {
+	if !js.weightsReady && !js.checkpointed {
+		return
+	}
+	if js.restoring {
+		return
+	}
+	resumable := js.computeRun != nil && js.computeRun.Suspended()
+	if js.job.ComputeRunning && !resumable {
+		return
+	}
+	if !js.job.ComputeRunning && !js.job.InputAvailable() {
+		return
+	}
+	if js.current.Kind != device.KindGPU || m.opts.DisableGPUExclusive {
+		m.startCompute(js)
+		return
+	}
+	if js.holding {
+		m.startCompute(js)
+		return
+	}
+	if js.waiting {
+		return
+	}
+	js.waiting = true
+	js.acquiredAt = m.eng.Now()
+	m.acquire(js.current.Index, js, func() {
+		js.waiting = false
+		js.holding = true
+		m.pump(js)
+	})
+}
+
+// pumpCoupled is the DisableFreeCPUExecutors ablation: input and compute
+// run back-to-back under the GPU grant, like session-based time slicing.
+func (m *Manager) pumpCoupled(js *jobState) {
+	if !js.weightsReady {
+		return
+	}
+	// A preempted session resumes through the normal compute path.
+	if js.computeRun != nil && js.computeRun.Suspended() {
+		m.pumpCompute(js)
+		return
+	}
+	if js.job.ComputeRunning || js.job.InputsInFlight > 0 || !js.job.HasWork() {
+		return
+	}
+	if js.current.Kind != device.KindGPU {
+		m.pumpInput(js)
+		m.pumpCompute(js)
+		return
+	}
+	if js.holding || js.waiting {
+		return
+	}
+	js.waiting = true
+	js.acquiredAt = m.eng.Now()
+	m.acquire(js.current.Index, js, func() {
+		js.waiting = false
+		js.holding = true
+		m.runCoupledSession(js)
+	})
+}
+
+func (m *Manager) runCoupledSession(js *jobState) {
+	v, err := js.job.Version(js.current)
+	if err != nil {
+		js.job.Crash(err)
+		m.releaseFrom(js)
+		return
+	}
+	if !js.job.CanStartInput() && !js.job.InputAvailable() {
+		m.releaseFrom(js)
+		return
+	}
+	if js.job.CanStartInput() {
+		js.job.BeginInput()
+		if v.Input == nil {
+			js.job.FinishInput()
+			m.startCompute(js)
+			return
+		}
+		_, err := js.job.StartExec(v.Input, executor.Config{Pool: m.poolFor(js)}, func() {
+			js.job.FinishInput()
+			m.startCompute(js)
+		})
+		if err != nil {
+			js.job.Crash(err)
+			m.releaseFrom(js)
+			return
+		}
+		return
+	}
+	m.startCompute(js)
+}
+
+// startCompute runs the compute subgraph on the current device, resuming
+// a suspended session run if one is pending and restoring a checkpoint
+// first when the job was checkpointed out.
+func (m *Manager) startCompute(js *jobState) {
+	if js.checkpointed {
+		m.restoreCheckpoint(js)
+		return
+	}
+	if js.computeRun != nil && js.computeRun.Suspended() {
+		if err := js.job.AllocIntermediate(js.current); err != nil {
+			js.job.Crash(err)
+			m.releaseFrom(js)
+			return
+		}
+		js.computeRun.Resume()
+		return
+	}
+	v, err := js.job.Version(js.current)
+	if err != nil {
+		js.job.Crash(err)
+		m.releaseFrom(js)
+		return
+	}
+	if err := js.job.AllocIntermediate(js.current); err != nil {
+		// Cannot happen under the exclusivity invariant unless a single
+		// job exceeds the device by itself.
+		js.job.Crash(err)
+		m.releaseFrom(js)
+		return
+	}
+	js.job.BeginCompute()
+	cfg := executor.Config{Pool: m.poolFor(js), Stream: js.job.Stream(js.current)}
+	run, err := js.job.StartExec(v.Compute, cfg, func() {
+		js.computeRun = nil
+		js.job.FreeIntermediate(js.current)
+		js.job.FinishCompute()
+		// Regaining a full iteration on the GPU completes any pending
+		// "stay" preemption recovery: back to the global pool.
+		if js.current.Kind == device.KindGPU {
+			js.inTempPool = false
+		}
+		m.afterCompute(js)
+	})
+	if err != nil {
+		js.job.Crash(err)
+		js.job.FreeIntermediate(js.current)
+		m.releaseFrom(js)
+		return
+	}
+	js.computeRun = run
+}
+
+// poolFor returns the inter-op pool a job's tasks go to: the temporary
+// pool while the job is being isolated after preemption or while it runs
+// on CPU.
+func (m *Manager) poolFor(js *jobState) *threadpool.Pool {
+	if m.opts.DisableTempPoolIsolation {
+		return m.global
+	}
+	if js.inTempPool || js.current.Kind == device.KindCPU {
+		return m.temp
+	}
+	return m.global
+}
+
+// afterCompute runs the post-iteration path: under checkpoint preemption
+// a requested checkpoint streams the job's state to host memory before
+// the GPU is released (Gandiva's suspend path, §6); otherwise the GPU is
+// released immediately.
+func (m *Manager) afterCompute(js *jobState) {
+	if js.checkpointRequested && js.current.Kind == device.KindGPU {
+		js.checkpointRequested = false
+		d2h := m.machine.DeviceToHost(js.current.Index)
+		d2h.Transfer(js.job.WeightBytes(), js.job.Cfg.Model.WeightVars(), func() {
+			js.job.FreeWeights(js.current)
+			js.checkpointed = true
+			js.weightsReady = false
+			m.releaseFrom(js)
+			m.pump(js)
+		})
+		return
+	}
+	m.releaseFrom(js)
+	m.pump(js)
+}
+
+// restoreCheckpoint streams a checkpointed job's state back onto the GPU
+// it just re-acquired, then starts its compute. The restore occupies the
+// grant — Gandiva's resume cost.
+func (m *Manager) restoreCheckpoint(js *jobState) {
+	if js.restoring {
+		return
+	}
+	js.restoring = true
+	if err := js.job.AllocWeights(js.current); err != nil {
+		js.job.Crash(err)
+		js.restoring = false
+		m.releaseFrom(js)
+		return
+	}
+	h2d := m.machine.HostToDevice(js.current.Index)
+	h2d.Transfer(js.job.WeightBytes(), js.job.Cfg.Model.WeightVars(), func() {
+		js.restoring = false
+		js.checkpointed = false
+		js.weightsReady = true
+		m.pump(js)
+	})
+}
+
+func (m *Manager) releaseFrom(js *jobState) {
+	if !js.holding {
+		return
+	}
+	js.holding = false
+	m.release(js.current.Index)
+}
+
+// DebugJobState renders a job's scheduler state for test diagnostics.
+func (m *Manager) DebugJobState(job *workload.Job) string {
+	for _, js := range m.jobs {
+		if js.job == job {
+			suspended := js.computeRun != nil && js.computeRun.Suspended()
+			done, total := 0, 0
+			if js.computeRun != nil {
+				done, total = js.computeRun.Progress()
+			}
+			return fmt.Sprintf("holding=%v waiting=%v preempting=%v temp=%v run=%v suspended=%v progress=%d/%d",
+				js.holding, js.waiting, js.preempting, js.inTempPool,
+				js.computeRun != nil, suspended, done, total)
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sort"
+
+	"switchflow/internal/device"
+)
+
+// arbiter serializes GPU executors on one GPU (scheduling invariant 1) and
+// implements priority preemption.
+type arbiter struct {
+	owner *jobState
+	queue []*grantReq
+}
+
+type grantReq struct {
+	js      *jobState
+	onGrant func()
+	seq     int
+}
+
+var grantSeq int
+
+// acquire requests exclusive use of GPU gpu for js. onGrant fires when the
+// device is granted. A higher-priority request preempts the current owner
+// (§3.3); equal or lower priority waits FIFO within its priority class.
+func (m *Manager) acquire(gpu int, js *jobState, onGrant func()) {
+	arb := m.arbs[gpu]
+	grantSeq++
+	req := &grantReq{js: js, onGrant: onGrant, seq: grantSeq}
+	if arb.owner == nil {
+		arb.owner = js
+		m.recordGrant(js)
+		onGrant()
+		return
+	}
+	arb.queue = append(arb.queue, req)
+	sort.SliceStable(arb.queue, func(i, j int) bool {
+		pi, pj := arb.queue[i].js.job.Cfg.Priority, arb.queue[j].js.job.Cfg.Priority
+		if pi != pj {
+			return pi > pj
+		}
+		return arb.queue[i].seq < arb.queue[j].seq
+	})
+	if js.job.Cfg.Priority > arb.owner.job.Cfg.Priority {
+		m.preempt(gpu, arb.owner)
+	}
+}
+
+// release frees the GPU and grants the highest-priority waiter.
+func (m *Manager) release(gpu int) {
+	arb := m.arbs[gpu]
+	arb.owner = nil
+	m.grantNext(gpu)
+}
+
+func (m *Manager) grantNext(gpu int) {
+	arb := m.arbs[gpu]
+	if arb.owner != nil || len(arb.queue) == 0 {
+		return
+	}
+	req := arb.queue[0]
+	arb.queue = arb.queue[1:]
+	arb.owner = req.js
+	m.recordGrant(req.js)
+	req.onGrant()
+}
+
+func (m *Manager) recordGrant(js *jobState) {
+	m.PreemptionLatencies.Add(m.eng.Now() - js.acquiredAt)
+}
+
+// preempt suspends the victim's compute stage: queued nodes are aborted
+// from the thread pools and the stream's backlog is dropped; in-flight
+// kernels drain (the only component on the new job's critical path,
+// §5.2.3). The victim's unfinished iteration is repopulated, and the
+// victim either migrates to a fallback device or waits in the temporary
+// pool until it regains the GPU.
+func (m *Manager) preempt(gpu int, victim *jobState) {
+	if m.opts.CheckpointPreemption {
+		// Gandiva-style: no abort; the victim runs its mini-batch to
+		// completion, then checkpoints out (§6). The grant follows the
+		// checkpoint transfer.
+		if !victim.checkpointRequested {
+			victim.checkpointRequested = true
+			m.Preemptions++
+		}
+		return
+	}
+	if victim.preempting {
+		return
+	}
+	victim.preempting = true
+	m.Preemptions++
+	if !m.opts.DisableTempPoolIsolation {
+		victim.inTempPool = true
+	}
+
+	finish := func() {
+		from := victim.current
+		// The iteration's intermediate data is discarded either way,
+		// freeing the bulk of GPU memory for the preempter (§3.4); the
+		// resumed session reallocates it.
+		victim.job.FreeIntermediate(from)
+		victim.holding = false
+		release := func() {
+			victim.preempting = false
+			m.release(gpu)
+			m.pump(victim)
+		}
+		fallback, ok := m.pickFallback(victim)
+		if !ok {
+			// Stay and wait: the suspended run is kept and resumed when
+			// the job regains the GPU — no work is lost (§3.3).
+			release()
+			return
+		}
+		// Migrating to a different device discards the partial iteration
+		// (its tasks repopulate a fresh session there) but keeps the
+		// prefetched input batch.
+		if victim.computeRun != nil {
+			victim.computeRun.Discard()
+			victim.computeRun = nil
+		}
+		if victim.job.ComputeRunning {
+			victim.job.AbandonCompute()
+		}
+		if m.opts.SyncStateTransfer {
+			// Ablation: the state transfer joins the preemption critical
+			// path — the new job waits for it.
+			m.migrate(victim, from, fallback, release)
+			return
+		}
+		m.migrate(victim, from, fallback, nil)
+		release()
+	}
+
+	if victim.computeRun != nil {
+		victim.computeRun.Suspend(finish)
+		return
+	}
+	// Owner was granted but has not started its executor (e.g. waiting on
+	// input); nothing to drain.
+	m.eng.After(0, finish)
+}
+
+// pickFallback chooses the first configured fallback device with room for
+// the victim's weights. ok is false when the victim should stay and wait.
+func (m *Manager) pickFallback(victim *jobState) (device.ID, bool) {
+	for _, dev := range victim.job.Cfg.Fallbacks {
+		if dev == victim.current {
+			continue
+		}
+		if dev.Kind == device.KindGPU {
+			gpu := m.machine.GPU(dev.Index)
+			if gpu == nil || gpu.Mem.Available() < victim.job.WeightBytes() {
+				continue
+			}
+			// The fallback GPU must not currently host a higher-priority
+			// owner the victim would immediately be preempted by.
+			if owner := m.arbs[dev.Index].owner; owner != nil &&
+				owner.job.Cfg.Priority > victim.job.Cfg.Priority {
+				continue
+			}
+		}
+		return dev, true
+	}
+	return device.ID{}, false
+}
+
+// migrate moves the victim to dev: weights are copied off the preemption
+// critical path; the source GPU retains the weight bytes until the
+// transfer completes (§3.3, Table 1). onDone, when non-nil, fires at
+// transfer completion (used by the synchronous-transfer ablation).
+func (m *Manager) migrate(victim *jobState, from, to device.ID, onDone func()) {
+	if _, err := victim.job.Version(to); err != nil {
+		victim.job.Crash(err)
+		return
+	}
+	if err := victim.job.AllocWeights(to); err != nil {
+		// No room after all; stay and wait instead.
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	m.Migrations++
+	victim.current = to
+	victim.weightsReady = false
+	path, err := m.machine.CopyPath(from, to)
+	if err != nil {
+		victim.job.Crash(err)
+		return
+	}
+	bytes := victim.job.WeightBytes()
+	tensors := victim.job.Cfg.Model.WeightVars()
+	path.Transfer(bytes, tensors, func() {
+		victim.job.FreeWeights(from)
+		victim.weightsReady = true
+		if to.Kind == device.KindGPU {
+			victim.inTempPool = false
+		}
+		m.pump(victim)
+		if onDone != nil {
+			onDone()
+		}
+	})
+}

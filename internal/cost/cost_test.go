@@ -1,0 +1,175 @@
+package cost
+
+import (
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/graph"
+	"switchflow/internal/models"
+	"switchflow/internal/occupancy"
+)
+
+func TestKernelDurationRooflineCompute(t *testing.T) {
+	// A pure-compute conv: 1 GFLOP on a V100 at conv efficiency
+	// 0.65 x class efficiency 0.55 of 15.7 TFLOPS.
+	n := &graph.Node{Op: graph.OpConv2D, FLOPs: 1e9}
+	got := KernelDuration(n, device.ClassV100)
+	sec := 1e9 / (15.7e12 * 0.65 * 0.55)
+	want := time.Duration(sec * float64(time.Second))
+	if diff := (got - want).Abs(); diff > time.Microsecond {
+		t.Fatalf("KernelDuration = %v, want ~%v", got, want)
+	}
+}
+
+func TestKernelDurationMemoryBound(t *testing.T) {
+	// A BN touching 1 GB is bandwidth bound on any GPU.
+	n := &graph.Node{Op: graph.OpBatchNorm, FLOPs: 1e6, MemBytes: 1 << 30}
+	got := KernelDuration(n, device.ClassV100)
+	sec := float64(1<<30) / (900e9 * 0.75)
+	want := time.Duration(sec * float64(time.Second))
+	if diff := (got - want).Abs(); diff > 10*time.Microsecond {
+		t.Fatalf("KernelDuration = %v, want ~%v", got, want)
+	}
+}
+
+func TestKernelDurationMinimumFloor(t *testing.T) {
+	n := &graph.Node{Op: graph.OpAdd, FLOPs: 10}
+	if got := KernelDuration(n, device.ClassV100); got < 2*time.Microsecond {
+		t.Fatalf("tiny kernel duration %v below floor", got)
+	}
+}
+
+func TestKernelDurationZeroForNonGPUOps(t *testing.T) {
+	for _, op := range []graph.OpType{graph.OpSend, graph.OpRecv, graph.OpPreprocess, graph.OpNoOp} {
+		n := &graph.Node{Op: op, FLOPs: 1e9}
+		if got := KernelDuration(n, device.ClassV100); got != 0 {
+			t.Errorf("KernelDuration(%v) = %v, want 0", op, got)
+		}
+	}
+}
+
+func TestSlowerGPUsAreSlower(t *testing.T) {
+	n := &graph.Node{Op: graph.OpConv2D, FLOPs: 1e9, MemBytes: 1 << 20}
+	v100 := KernelDuration(n, device.ClassV100)
+	gtx := KernelDuration(n, device.ClassGTX1080Ti)
+	tx2 := KernelDuration(n, device.ClassJetsonTX2)
+	if !(v100 < gtx && gtx < tx2) {
+		t.Fatalf("ordering violated: V100 %v, 1080Ti %v, TX2 %v", v100, gtx, tx2)
+	}
+}
+
+func TestOccupancyHeavyVsLight(t *testing.T) {
+	conv := &graph.Node{Op: graph.OpConv2D}
+	add := &graph.Node{Op: graph.OpAdd}
+	if Occupancy(conv) < 0.5 {
+		t.Errorf("conv occupancy %v should be register-bound (>=0.5)", Occupancy(conv))
+	}
+	if Occupancy(add) >= 0.5 {
+		t.Errorf("add occupancy %v should be light", Occupancy(add))
+	}
+}
+
+func TestIsExpensiveClassification(t *testing.T) {
+	class := device.ClassV100
+	conv := &graph.Node{Op: graph.OpConv2D, FLOPs: 1e6}
+	if !IsExpensive(conv, class) {
+		t.Error("conv should be expensive regardless of size")
+	}
+	relu := &graph.Node{Op: graph.OpActivation, FLOPs: 100}
+	if IsExpensive(relu, class) {
+		t.Error("tiny relu should be inexpensive")
+	}
+	bigBN := &graph.Node{Op: graph.OpBatchNorm, MemBytes: 1 << 30}
+	if !IsExpensive(bigBN, class) {
+		t.Error("1 GiB batchnorm should classify expensive by duration")
+	}
+}
+
+func TestCPUDurationPreprocessOverride(t *testing.T) {
+	n := &graph.Node{Op: graph.OpPreprocess, CPUTime: 100 * time.Millisecond}
+	if got := CPUDuration(n, device.ClassXeonDual); got != 100*time.Millisecond {
+		t.Fatalf("Xeon preprocess = %v, want 100ms", got)
+	}
+	// The TX2's ARM cores are 2x slower.
+	slow := CPUDuration(n, device.ClassCortexA57)
+	if slow != 200*time.Millisecond {
+		t.Fatalf("ARM preprocess = %v, want 200ms", slow)
+	}
+}
+
+func TestCPUDurationComputeOps(t *testing.T) {
+	n := &graph.Node{Op: graph.OpConv2D, FLOPs: 32e9}
+	got := CPUDuration(n, device.ClassXeonDual)
+	if diff := (got - time.Second).Abs(); diff > time.Millisecond {
+		t.Fatalf("32 GFLOP conv on a 32 GFLOPS core = %v, want ~1s", got)
+	}
+}
+
+func TestResNet50TrainStepCalibration(t *testing.T) {
+	// The headline calibration target (§2.2 / Figure 2): solo ResNet50
+	// training at BS=16 on a V100 runs at ~226 images/s. Sum the kernel
+	// durations of the training graph's GPU nodes and check the implied
+	// throughput is in a plausible band around that.
+	spec, err := models.ByName("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(models.BuildConfig{Batch: 16, Training: true, Device: device.GPUID(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpuTime time.Duration
+	for _, n := range g.Nodes() {
+		if n.Device == device.GPUID(0) {
+			gpuTime += KernelDuration(n, device.ClassV100)
+		}
+	}
+	throughput := 16 / gpuTime.Seconds()
+	if throughput < 160 || throughput > 320 {
+		t.Fatalf("solo ResNet50 BS=16 V100 training = %.0f img/s, want 160-320 (paper: 226)",
+			throughput)
+	}
+}
+
+// TestFootprintsBackedByOccupancyCalculator ties the cost model's
+// admission footprints to the occupancy analysis the paper ran (§2.2):
+// the cuDNN conv launch profile is register-bound with low warp
+// occupancy, so its device footprint must mark it non-concurrent (>= 0.5
+// triggers serialization in the GPU admission model), while elementwise
+// launches must not.
+func TestFootprintsBackedByOccupancyCalculator(t *testing.T) {
+	conv := occupancy.LaunchConfig{
+		ThreadsPerBlock:    256,
+		RegistersPerThread: 96,
+		SharedMemPerBlock:  40 << 10,
+		GridBlocks:         4096,
+	}
+	a, err := occupancy.Analyze(conv, occupancy.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.RegisterBound {
+		t.Fatal("conv profile not register bound; §2.2 premise broken")
+	}
+	foot, err := occupancy.DeviceFootprint(conv, occupancy.Volta, device.ClassV100.SMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convNode := &graph.Node{Op: graph.OpConv2D}
+	if foot < 0.5 != (Occupancy(convNode) < 0.5) {
+		t.Fatalf("cost footprint %.2f disagrees with calculator footprint %.2f",
+			Occupancy(convNode), foot)
+	}
+
+	add := occupancy.LaunchConfig{ThreadsPerBlock: 256, RegistersPerThread: 24, GridBlocks: 128}
+	addFoot, err := occupancy.DeviceFootprint(add, occupancy.Volta, device.ClassV100.SMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addNode := &graph.Node{Op: graph.OpAdd}
+	if addFoot >= 0.5 || Occupancy(addNode) >= 0.5 {
+		t.Fatalf("elementwise marked non-concurrent: calc %.2f, cost %.2f",
+			addFoot, Occupancy(addNode))
+	}
+}

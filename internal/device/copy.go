@@ -1,0 +1,66 @@
+package device
+
+import (
+	"time"
+
+	"switchflow/internal/sim"
+)
+
+// Copy-engine constants calibrated against Table 1 of the paper: transfer
+// time fits bytes/11.3 GBps + 50 µs per weight tensor across all eight
+// reported models.
+const (
+	// PerTensorOverhead is the fixed cost of issuing one tensor copy.
+	PerTensorOverhead = 50 * time.Microsecond
+	// baseCopyLatency is the setup latency of a bulk DMA.
+	baseCopyLatency = 10 * time.Microsecond
+)
+
+// CopyEngine is a FIFO DMA channel (one direction of a PCIe link, or a
+// GPU-to-GPU path). Transfers queue behind each other.
+type CopyEngine struct {
+	eng           *sim.Engine
+	bandwidthGBps float64
+	busyUntil     time.Duration
+	transferred   int64
+}
+
+// NewCopyEngine creates a channel with the given bulk bandwidth.
+func NewCopyEngine(eng *sim.Engine, bandwidthGBps float64) *CopyEngine {
+	return &CopyEngine{eng: eng, bandwidthGBps: bandwidthGBps}
+}
+
+// TransferTime returns the service time (excluding queueing) of moving
+// n bytes split across tensors tensor objects.
+func (c *CopyEngine) TransferTime(n int64, tensors int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if tensors < 1 {
+		tensors = 1
+	}
+	bulk := time.Duration(float64(n) / (c.bandwidthGBps * 1e9) * float64(time.Second))
+	return baseCopyLatency + bulk + time.Duration(tensors)*PerTensorOverhead
+}
+
+// Transfer enqueues a copy of n bytes in tensors tensor objects and returns
+// its completion time. onDone (optional) fires at completion.
+func (c *CopyEngine) Transfer(n int64, tensors int, onDone func()) time.Duration {
+	start := c.eng.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	done := start + c.TransferTime(n, tensors)
+	c.busyUntil = done
+	c.transferred += n
+	if onDone != nil {
+		c.eng.Schedule(done, onDone)
+	}
+	return done
+}
+
+// Transferred returns total bytes moved through this engine.
+func (c *CopyEngine) Transferred() int64 { return c.transferred }
+
+// BusyUntil returns the time the engine drains its queue.
+func (c *CopyEngine) BusyUntil() time.Duration { return c.busyUntil }

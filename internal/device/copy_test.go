@@ -1,0 +1,80 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"switchflow/internal/sim"
+)
+
+func TestCopyEngineTransferTimeMatchesTable1(t *testing.T) {
+	// Table 1 of the paper: stateful-variable size (MiB) and GPU-to-GPU
+	// transfer time (ms) over PCIe 3.0 x16. Our model is
+	// bytes/11.3 GBps + 50 us per tensor; verify it lands within 20% of
+	// every published row.
+	eng := sim.NewEngine()
+	ce := NewCopyEngine(eng, 11.3)
+	tests := []struct {
+		model   string
+		mib     float64
+		tensors int
+		paperMS float64
+	}{
+		{"ResNet50", 198.53, 265, 28.838},
+		{"VGG16", 1055.58, 32, 103.747},
+		{"VGG19", 1096.09, 38, 109.416},
+		{"DenseNet121", 64.83, 606, 39.823},
+		{"DenseNet169", 108.61, 846, 45.236},
+		{"InceptionResNetV2", 426.18, 898, 82.137},
+		{"InceptionV3", 182.00, 378, 31.613},
+		{"MobileNetV2", 27.25, 262, 17.505},
+	}
+	for _, tt := range tests {
+		t.Run(tt.model, func(t *testing.T) {
+			bytes := int64(tt.mib * (1 << 20))
+			got := ce.TransferTime(bytes, tt.tensors).Seconds() * 1e3
+			ratio := got / tt.paperMS
+			if ratio < 0.8 || ratio > 1.25 {
+				t.Errorf("transfer time %.2f ms, paper %.2f ms (ratio %.2f)",
+					got, tt.paperMS, ratio)
+			}
+		})
+	}
+}
+
+func TestCopyEngineFIFOQueueing(t *testing.T) {
+	eng := sim.NewEngine()
+	ce := NewCopyEngine(eng, 10) // 10 GB/s
+	var first, second time.Duration
+	d1 := ce.Transfer(100<<20, 1, func() { first = eng.Now() })
+	d2 := ce.Transfer(100<<20, 1, func() { second = eng.Now() })
+	if d2 <= d1 {
+		t.Fatalf("second transfer completes at %v, not after first %v", d2, d1)
+	}
+	eng.Run()
+	if first != d1 || second != d2 {
+		t.Fatalf("callbacks at (%v, %v), want (%v, %v)", first, second, d1, d2)
+	}
+	// Second waits for the first: done2 - done1 == service time of 2nd.
+	if gap := second - first; gap != ce.TransferTime(100<<20, 1) {
+		t.Fatalf("queueing gap %v, want %v", gap, ce.TransferTime(100<<20, 1))
+	}
+}
+
+func TestCopyEngineZeroBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	ce := NewCopyEngine(eng, 10)
+	if d := ce.TransferTime(0, 5); d != 0 {
+		t.Fatalf("TransferTime(0) = %v, want 0", d)
+	}
+}
+
+func TestCopyEngineTracksBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	ce := NewCopyEngine(eng, 10)
+	ce.Transfer(1<<20, 1, nil)
+	ce.Transfer(2<<20, 1, nil)
+	if got := ce.Transferred(); got != 3<<20 {
+		t.Fatalf("Transferred() = %d, want %d", got, 3<<20)
+	}
+}

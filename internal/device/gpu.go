@@ -1,0 +1,249 @@
+package device
+
+import (
+	"math"
+	"time"
+
+	"switchflow/internal/sim"
+)
+
+// Kernel is one unit of GPU work submitted for execution.
+type Kernel struct {
+	// Name labels the kernel in traces, e.g. "conv2d_3/fwd".
+	Name string
+	// Work is the solo execution time of the kernel on this GPU.
+	Work time.Duration
+	// Occupancy in [0,1] is the fraction of GPU resources (registers,
+	// SMs) the kernel's launch configuration consumes. Heavy cuDNN-style
+	// kernels are near 1 and cannot co-run (§2.2: 10 of 13 conv kernels
+	// were register-bottlenecked), so a second heavy kernel waits — the
+	// serialization visible in Figure 2.
+	Occupancy float64
+	// Ctx identifies the owning context (job) for traces and accounting.
+	Ctx int
+	// OnDone fires at kernel completion, in virtual time.
+	OnDone func()
+}
+
+// Span records one executed kernel interval, for Figure 2 style timelines.
+type Span struct {
+	Name  string
+	Ctx   int
+	Start time.Duration
+	End   time.Duration
+}
+
+// kernelExec is a kernel in flight or queued at the device.
+type kernelExec struct {
+	Kernel
+
+	remaining float64 // seconds of solo work left
+	started   time.Duration
+	occ       float64
+}
+
+// contentionBeta is the per-extra-kernel slowdown when kernels do co-run
+// (shared memory bandwidth and cache pressure).
+const contentionBeta = 0.06
+
+// GPU is a simulated graphics processor. Kernels are admitted in FIFO
+// order while their combined occupancy fits the device (capacity 1.0);
+// admitted kernels run concurrently at a mildly contended rate, everything
+// else waits. Exclusive use is a scheduler-level policy, not a device
+// property, exactly as on real hardware.
+type GPU struct {
+	// Class describes the hardware.
+	Class GPUClass
+	// Mem is the device memory pool.
+	Mem *MemPool
+	// SpanFunc, when set, receives a Span for every completed kernel.
+	SpanFunc func(Span)
+
+	id         ID
+	eng        *sim.Engine
+	running    []*kernelExec
+	queue      []*kernelExec
+	usedOcc    float64
+	lastUpdate time.Duration
+	completion *sim.Event
+	busy       time.Duration
+	busySince  time.Duration
+	launched   uint64
+}
+
+// NewGPU creates a GPU of the given class bound to the engine.
+func NewGPU(eng *sim.Engine, id ID, class GPUClass) *GPU {
+	return &GPU{
+		Class: class,
+		Mem:   NewMemPool(id.String()+" ("+class.Name+")", class.MemoryBytes),
+		id:    id,
+		eng:   eng,
+	}
+}
+
+// ID returns the device identifier.
+func (g *GPU) ID() ID { return g.id }
+
+// Submit queues k for execution. It starts immediately if its occupancy
+// fits alongside the kernels already running, otherwise it waits FIFO.
+func (g *GPU) Submit(k Kernel) {
+	g.advance()
+	occ := k.Occupancy
+	if occ < 0.05 {
+		occ = 0.05
+	}
+	if occ > 1 {
+		occ = 1
+	}
+	exec := &kernelExec{
+		Kernel:    k,
+		remaining: k.Work.Seconds(),
+		occ:       occ,
+	}
+	g.queue = append(g.queue, exec)
+	g.launched++
+	g.admit()
+	g.reschedule()
+}
+
+// Active returns the number of kernels currently executing.
+func (g *GPU) Active() int { return len(g.running) }
+
+// Waiting returns the number of kernels queued at the device.
+func (g *GPU) Waiting() int { return len(g.queue) }
+
+// Launched returns the total number of kernels ever submitted.
+func (g *GPU) Launched() uint64 { return g.launched }
+
+// BusyTime returns the accumulated time during which at least one kernel
+// was executing, for utilization accounting (Figure 3).
+func (g *GPU) BusyTime() time.Duration {
+	if len(g.running) > 0 {
+		return g.busy + (g.eng.Now() - g.busySince)
+	}
+	return g.busy
+}
+
+// OutstandingWork returns the remaining solo-time of executing plus queued
+// kernels. Preemption must wait out (at worst) this backlog (§3.3).
+func (g *GPU) OutstandingWork() time.Duration {
+	g.advance()
+	var total float64
+	for _, e := range g.running {
+		total += e.remaining
+	}
+	for _, e := range g.queue {
+		total += e.remaining
+	}
+	return time.Duration(total * float64(time.Second))
+}
+
+// admit moves queued kernels into execution while they fit, in FIFO order
+// (a big kernel at the head blocks the lane, like a hardware work queue).
+func (g *GPU) admit() {
+	for len(g.queue) > 0 {
+		head := g.queue[0]
+		if g.usedOcc+head.occ > 1.0001 {
+			return
+		}
+		g.queue = g.queue[1:]
+		if len(g.running) == 0 {
+			g.busySince = g.eng.Now()
+		}
+		head.started = g.eng.Now()
+		g.usedOcc += head.occ
+		g.running = append(g.running, head)
+	}
+}
+
+// advance applies elapsed virtual time to running kernels at the current
+// contention rate, without completing any of them.
+func (g *GPU) advance() {
+	now := g.eng.Now()
+	elapsed := (now - g.lastUpdate).Seconds()
+	g.lastUpdate = now
+	if elapsed <= 0 || len(g.running) == 0 {
+		return
+	}
+	rate := g.rate()
+	for _, e := range g.running {
+		e.remaining -= elapsed * rate
+		if e.remaining < 0 {
+			e.remaining = 0
+		}
+	}
+}
+
+// rate is the execution speed of each co-running kernel: full speed alone,
+// mildly degraded when kernels genuinely overlap.
+func (g *GPU) rate() float64 {
+	n := len(g.running)
+	if n <= 1 {
+		return 1
+	}
+	return 1 / (1 + contentionBeta*float64(n-1))
+}
+
+// reschedule cancels any pending completion event and schedules one for
+// the earliest-finishing running kernel.
+func (g *GPU) reschedule() {
+	if g.completion != nil {
+		g.completion.Cancel()
+		g.completion = nil
+	}
+	if len(g.running) == 0 {
+		return
+	}
+	rate := g.rate()
+	minLeft := math.MaxFloat64
+	for _, e := range g.running {
+		if left := e.remaining / rate; left < minLeft {
+			minLeft = left
+		}
+	}
+	// Round up to a whole nanosecond so a kernel with sub-nanosecond
+	// residue cannot reschedule a zero-delay completion forever.
+	delay := time.Duration(math.Ceil(minLeft * float64(time.Second)))
+	g.completion = g.eng.After(delay, g.complete)
+}
+
+// complete retires every kernel whose work has drained, fires callbacks,
+// admits waiters, and reschedules.
+func (g *GPU) complete() {
+	g.completion = nil
+	g.advance()
+	// Anything under a nanosecond of solo work is done: the event queue's
+	// resolution is 1 ns, so finer residues can never drain.
+	const eps = 1e-9
+	var done []*kernelExec
+	remaining := g.running[:0]
+	for _, e := range g.running {
+		if e.remaining <= eps {
+			done = append(done, e)
+			g.usedOcc -= e.occ
+		} else {
+			remaining = append(remaining, e)
+		}
+	}
+	g.running = remaining
+	if len(g.running) == 0 {
+		if len(done) > 0 {
+			g.busy += g.eng.Now() - g.busySince
+		}
+		g.usedOcc = 0 // absorb float drift at idle points
+	}
+	g.admit()
+	for _, e := range done {
+		if g.SpanFunc != nil {
+			g.SpanFunc(Span{Name: e.Name, Ctx: e.Ctx, Start: e.started, End: g.eng.Now()})
+		}
+		if e.OnDone != nil {
+			e.OnDone()
+		}
+	}
+	// Callbacks may have submitted new kernels (Submit reschedules), but
+	// if they did not we still need a completion event for survivors.
+	if g.completion == nil {
+		g.reschedule()
+	}
+}

@@ -1,0 +1,103 @@
+package device
+
+import (
+	"fmt"
+
+	"switchflow/internal/sim"
+)
+
+// Machine assembles the devices of one server: a CPU class, zero or more
+// GPUs, and per-GPU copy engines (host-to-device, device-to-host, and a
+// peer path used for migration).
+type Machine struct {
+	// Eng is the virtual clock every device shares.
+	Eng *sim.Engine
+	// CPU describes the host processor.
+	CPU CPUClass
+	// GPUs are the attached accelerators, indexed by GPUID.
+	GPUs []*GPU
+
+	h2d  []*CopyEngine
+	d2h  []*CopyEngine
+	peer *CopyEngine
+}
+
+// NewMachine builds a machine with the given CPU and GPU classes.
+func NewMachine(eng *sim.Engine, cpu CPUClass, gpuClasses ...GPUClass) *Machine {
+	m := &Machine{Eng: eng, CPU: cpu}
+	peerBW := 0.0
+	for i, class := range gpuClasses {
+		m.GPUs = append(m.GPUs, NewGPU(eng, GPUID(i), class))
+		m.h2d = append(m.h2d, NewCopyEngine(eng, class.PCIeGBps))
+		m.d2h = append(m.d2h, NewCopyEngine(eng, class.PCIeGBps))
+		if class.PCIeGBps > peerBW {
+			peerBW = class.PCIeGBps
+		}
+	}
+	if peerBW == 0 {
+		peerBW = 11.3
+	}
+	m.peer = NewCopyEngine(eng, peerBW)
+	return m
+}
+
+// GPU returns the i-th GPU or nil when out of range.
+func (m *Machine) GPU(i int) *GPU {
+	if i < 0 || i >= len(m.GPUs) {
+		return nil
+	}
+	return m.GPUs[i]
+}
+
+// HostToDevice returns the upload channel of GPU i.
+func (m *Machine) HostToDevice(i int) *CopyEngine { return m.h2d[i] }
+
+// DeviceToHost returns the download channel of GPU i.
+func (m *Machine) DeviceToHost(i int) *CopyEngine { return m.d2h[i] }
+
+// Peer returns the GPU-to-GPU copy path (PCIe 3.0 x16 in the paper's
+// servers; Table 1 measures state transfer over this path).
+func (m *Machine) Peer() *CopyEngine { return m.peer }
+
+// CopyPath returns the channel a transfer from src to dst uses.
+func (m *Machine) CopyPath(src, dst ID) (*CopyEngine, error) {
+	switch {
+	case src.Kind == KindCPU && dst.Kind == KindGPU:
+		return m.h2d[dst.Index], nil
+	case src.Kind == KindGPU && dst.Kind == KindCPU:
+		return m.d2h[src.Index], nil
+	case src.Kind == KindGPU && dst.Kind == KindGPU:
+		return m.peer, nil
+	default:
+		return nil, fmt.Errorf("no copy path %v -> %v", src, dst)
+	}
+}
+
+// Devices returns all device identifiers: the CPU first, then each GPU.
+func (m *Machine) Devices() []ID {
+	ids := make([]ID, 0, len(m.GPUs)+1)
+	ids = append(ids, CPUID)
+	for i := range m.GPUs {
+		ids = append(ids, GPUID(i))
+	}
+	return ids
+}
+
+// The paper's testbeds (§5.1).
+
+// NewTwoGPUServer models the server with a GTX 1080 Ti (gpu:0) and an
+// RTX 2080 Ti (gpu:1).
+func NewTwoGPUServer(eng *sim.Engine) *Machine {
+	return NewMachine(eng, ClassXeonDual, ClassGTX1080Ti, ClassRTX2080Ti)
+}
+
+// NewV100Server models the 4x Tesla V100 server.
+func NewV100Server(eng *sim.Engine) *Machine {
+	return NewMachine(eng, ClassXeonDual, ClassV100, ClassV100, ClassV100, ClassV100)
+}
+
+// NewJetsonTX2 models the embedded board (CPU and GPU share DRAM; the
+// shared pool is attached to the GPU device).
+func NewJetsonTX2(eng *sim.Engine) *Machine {
+	return NewMachine(eng, ClassCortexA57, ClassJetsonTX2)
+}

@@ -1,0 +1,91 @@
+package device
+
+// Stream is a CUDA-style compute stream: kernels enqueued on one stream
+// execute on the GPU strictly in FIFO order, one at a time. Kernels from
+// different streams co-run on the GPU under its contention model — this is
+// exactly the structure behind Figure 2: each TF session drives its own
+// stream, so one model's kernels serialize while two models' kernels
+// interleave and contend.
+type Stream struct {
+	gpu      *GPU
+	queue    []Kernel
+	inflight bool
+	aborted  uint64
+	drainFns []func()
+}
+
+// NewStream creates a stream bound to gpu.
+func NewStream(gpu *GPU) *Stream {
+	return &Stream{gpu: gpu}
+}
+
+// GPU returns the device the stream issues to.
+func (s *Stream) GPU() *GPU { return s.gpu }
+
+// Enqueue appends k to the stream. It begins executing once all earlier
+// kernels on this stream have completed.
+func (s *Stream) Enqueue(k Kernel) {
+	s.queue = append(s.queue, k)
+	s.pump()
+}
+
+// Pending returns the number of kernels waiting behind the in-flight one.
+func (s *Stream) Pending() int { return len(s.queue) }
+
+// InFlight reports whether a kernel from this stream is executing.
+func (s *Stream) InFlight() bool { return s.inflight }
+
+// Abort discards every queued (not yet issued) kernel. The in-flight
+// kernel, if any, runs to completion — the paper's preemption lets
+// dispatched kernels finish because there is no mechanism to selectively
+// stop them (§3.3). Returns the number of kernels discarded. Aborted
+// kernels' OnDone callbacks never fire.
+func (s *Stream) Abort() int {
+	n := len(s.queue)
+	s.queue = nil
+	s.aborted += uint64(n)
+	return n
+}
+
+// Aborted returns the total number of kernels ever discarded by Abort.
+func (s *Stream) Aborted() uint64 { return s.aborted }
+
+// Drain invokes fn once the in-flight kernel (if any) completes and the
+// queue is empty. With an empty stream it fires immediately (inline).
+func (s *Stream) Drain(fn func()) {
+	if !s.inflight && len(s.queue) == 0 {
+		fn()
+		return
+	}
+	s.drainFns = append(s.drainFns, fn)
+}
+
+func (s *Stream) pump() {
+	if s.inflight || len(s.queue) == 0 {
+		return
+	}
+	k := s.queue[0]
+	s.queue = s.queue[1:]
+	s.inflight = true
+	userDone := k.OnDone
+	k.OnDone = func() {
+		s.inflight = false
+		if userDone != nil {
+			userDone()
+		}
+		s.pump()
+		s.notifyDrained()
+	}
+	s.gpu.Submit(k)
+}
+
+func (s *Stream) notifyDrained() {
+	if s.inflight || len(s.queue) != 0 || len(s.drainFns) == 0 {
+		return
+	}
+	fns := s.drainFns
+	s.drainFns = nil
+	for _, fn := range fns {
+		fn()
+	}
+}

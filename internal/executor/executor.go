@@ -1,0 +1,404 @@
+// Package executor runs one subgraph on one device, reproducing TF's
+// executor mechanics (§2.1): nodes become ready as their in-subgraph
+// dependencies complete; worker threads from a shared pool process CPU ops
+// (occupying the thread) and launch GPU ops (occupying the thread only for
+// the launch, with the kernel executing asynchronously on the device's
+// stream); expensive successors are dispatched to any worker while
+// inexpensive ones ride their parent's local queue.
+package executor
+
+import (
+	"fmt"
+	"time"
+
+	"switchflow/internal/cost"
+	"switchflow/internal/device"
+	"switchflow/internal/graph"
+	"switchflow/internal/sim"
+	"switchflow/internal/threadpool"
+)
+
+// Config wires a Run to its resources.
+type Config struct {
+	// Pool supplies inter-op worker threads (CPU ops, kernel launches).
+	Pool *threadpool.Pool
+	// DataPool, when set, runs Preprocess nodes — tf.data's parallel data
+	// workers live in their own pool, separate from the executor's
+	// inter-op threads, so preprocessing cannot starve kernel launches.
+	// Nil falls back to Pool.
+	DataPool *threadpool.Pool
+	// CPUClass scales CPU op durations.
+	CPUClass device.CPUClass
+	// Stream is the GPU compute stream; nil for CPU subgraphs. The
+	// stream's GPU class also drives kernel durations.
+	Stream *device.Stream
+	// Machine provides copy engines for Send nodes.
+	Machine *device.Machine
+	// Ctx tags kernels for traces (one id per job).
+	Ctx int
+	// Eager charges every GPU op a framework dispatch overhead — dynamic
+	// graph execution interprets user code per op instead of replaying a
+	// pre-optimized plan (§1).
+	Eager bool
+}
+
+// eagerDispatchOverhead is the per-op cost of dynamic-graph dispatch
+// (Python-level op construction and bookkeeping).
+const eagerDispatchOverhead = 75 * time.Microsecond
+
+// Run is one activation of a subgraph (one iteration's worth of its
+// nodes). Create with Start.
+//
+// A Run can be suspended (queued work aborted, in-flight work drained,
+// progress kept) and later resumed — the paper's preemption semantics:
+// "the new session is populated with the tasks of the aborted session run
+// so that no work is lost" (§3.3). Abort is a terminal suspend.
+type Run struct {
+	sub        *graph.Subgraph
+	cfg        Config
+	eng        *sim.Engine
+	pending    map[int]int
+	doneSet    map[int]bool
+	shardsLeft map[int]int
+	done       int
+	total      int
+	suspended  bool
+	aborted    bool
+	epoch      int
+	onDone     func()
+}
+
+// Start begins executing sub and returns its Run handle. onDone fires when
+// every node has completed (never after Abort).
+func Start(eng *sim.Engine, sub *graph.Subgraph, cfg Config, onDone func()) (*Run, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("executor: %s: nil pool", sub.Name())
+	}
+	if sub.Device.Kind == device.KindGPU && cfg.Stream == nil {
+		return nil, fmt.Errorf("executor: %s: GPU subgraph needs a stream", sub.Name())
+	}
+	r := &Run{
+		sub:        sub,
+		cfg:        cfg,
+		eng:        eng,
+		pending:    make(map[int]int, len(sub.Nodes)),
+		doneSet:    make(map[int]bool, len(sub.Nodes)),
+		shardsLeft: make(map[int]int),
+		total:      len(sub.Nodes),
+		onDone:     onDone,
+	}
+	inSub := make(map[int]bool, len(sub.Nodes))
+	for _, n := range sub.Nodes {
+		inSub[n.ID] = true
+	}
+	// Dependencies outside the subgraph are satisfied by stage sequencing
+	// (the producing executor ran to completion first), so only
+	// intra-subgraph edges gate readiness.
+	var ready []*graph.Node
+	for _, n := range sub.Nodes {
+		deps := 0
+		for _, in := range n.Inputs() {
+			if inSub[in.ID] {
+				deps++
+			}
+		}
+		r.pending[n.ID] = deps
+		if deps == 0 {
+			ready = append(ready, n)
+		}
+	}
+	if r.total == 0 {
+		eng.After(0, r.finish)
+		return r, nil
+	}
+	// Initial dispatch: the ready queue is drained breadth-first onto
+	// separate local queues (§2.1).
+	for _, n := range ready {
+		r.dispatch(n, -1, false)
+	}
+	return r, nil
+}
+
+// Done reports whether every node completed.
+func (r *Run) Done() bool { return r.done == r.total && !r.aborted }
+
+// Aborted reports whether the run was cancelled terminally.
+func (r *Run) Aborted() bool { return r.aborted }
+
+// Suspended reports whether the run is paused and resumable.
+func (r *Run) Suspended() bool { return r.suspended && !r.aborted }
+
+// Progress returns completed and total node counts.
+func (r *Run) Progress() (completed, total int) { return r.done, r.total }
+
+// Suspend pauses the run: queued worker tasks are removed from the pool
+// and the stream's backlog is discarded; the in-flight kernel (if any)
+// drains and its completion is kept (§3.3: dispatched kernels finish).
+// onDrained fires once in-flight work ends — the preemption critical
+// path. Resume continues from the retained progress.
+func (r *Run) Suspend(onDrained func()) {
+	if r.aborted || r.suspended {
+		if onDrained != nil {
+			onDrained()
+		}
+		return
+	}
+	r.suspended = true
+	r.epoch++
+	r.cfg.Pool.Abort(r)
+	if r.cfg.DataPool != nil {
+		r.cfg.DataPool.Abort(r)
+	}
+	if r.cfg.Stream != nil {
+		r.cfg.Stream.Abort()
+		if onDrained != nil {
+			r.cfg.Stream.Drain(onDrained)
+		}
+		return
+	}
+	if onDrained != nil {
+		onDrained()
+	}
+}
+
+// Resume re-dispatches every ready-but-incomplete node of a suspended run.
+// Callers must wait for Suspend's drain callback first.
+func (r *Run) Resume() {
+	if r.aborted || !r.suspended {
+		return
+	}
+	r.suspended = false
+	if r.done == r.total {
+		r.finish()
+		return
+	}
+	for _, n := range r.sub.Nodes {
+		if !r.doneSet[n.ID] && r.pending[n.ID] == 0 {
+			r.dispatch(n, -1, false)
+		}
+	}
+}
+
+// Abort cancels the run terminally; it can never resume and onDone never
+// fires. onDrained follows Suspend's contract.
+func (r *Run) Abort(onDrained func()) {
+	if r.aborted {
+		if onDrained != nil {
+			onDrained()
+		}
+		return
+	}
+	wasSuspended := r.suspended
+	r.aborted = true
+	r.suspended = true
+	if wasSuspended {
+		if onDrained != nil {
+			onDrained()
+		}
+		return
+	}
+	r.cfg.Pool.Abort(r)
+	if r.cfg.DataPool != nil {
+		r.cfg.DataPool.Abort(r)
+	}
+	if r.cfg.Stream != nil {
+		r.cfg.Stream.Abort()
+		if onDrained != nil {
+			r.cfg.Stream.Drain(onDrained)
+		}
+		return
+	}
+	if onDrained != nil {
+		onDrained()
+	}
+}
+
+// Discard is Abort without a drain callback, for runs already suspended.
+func (r *Run) Discard() { r.Abort(nil) }
+
+// dispatch hands node n to a worker. preferred/front implement the
+// expensive/inexpensive local-queue policy. The captured epoch invalidates
+// callbacks from before a suspension, so a node cannot be processed twice
+// when a suspend races with a worker mid-task.
+func (r *Run) dispatch(n *graph.Node, preferred int, front bool) {
+	duration := r.workerTime(n)
+	epoch := r.epoch
+	pool := r.cfg.Pool
+	if n.Op == graph.OpPreprocess && r.cfg.DataPool != nil {
+		pool = r.cfg.DataPool
+	}
+	if r.sub.Device.Kind == device.KindCPU {
+		if shards := intraOpShards(n, duration, pool.Size()); shards > 1 {
+			r.dispatchSharded(n, pool, duration, shards)
+			return
+		}
+	}
+	pool.Submit(&threadpool.Task{
+		Name:     n.Name,
+		Owner:    r,
+		Duration: duration,
+		Run: func() {
+			if epoch == r.epoch {
+				r.process(n)
+			}
+		},
+	}, preferred, front)
+}
+
+// dispatchSharded fans a heavy CPU op over several worker threads with
+// MKL-style imperfect scaling; the node completes when every shard does.
+func (r *Run) dispatchSharded(n *graph.Node, pool *threadpool.Pool, total time.Duration, shards int) {
+	r.shardsLeft[n.ID] = shards
+	epoch := r.epoch
+	per := time.Duration(float64(total) / (float64(shards) * mklScalingEfficiency))
+	for i := 0; i < shards; i++ {
+		pool.Submit(&threadpool.Task{
+			Name:     n.Name + "/shard",
+			Owner:    r,
+			Duration: per,
+			Run: func() {
+				if epoch != r.epoch {
+					return
+				}
+				r.shardsLeft[n.ID]--
+				if r.shardsLeft[n.ID] == 0 {
+					r.process(n)
+				}
+			},
+		}, -1, false)
+	}
+}
+
+// workerTime is how long node n occupies the worker thread itself.
+func (r *Run) workerTime(n *graph.Node) time.Duration {
+	if r.sub.Device.Kind == device.KindCPU {
+		return cost.CPUDuration(n, r.cfg.CPUClass)
+	}
+	// GPU subgraph: the thread only pays launch overhead; ops without a
+	// kernel (Recv, NoOp) still cost a moment of bookkeeping.
+	var eager time.Duration
+	if r.cfg.Eager {
+		eager = eagerDispatchOverhead
+	}
+	if cost.KernelDuration(n, r.cfg.Stream.GPU().Class) > 0 {
+		return eager + cost.LaunchOverhead(r.cfg.Stream.GPU().Class)
+	}
+	return eager + time.Microsecond
+}
+
+// intraOpShards is the MKL-style intra-op parallelism of a CPU compute
+// op: heavy dense math fans out over several worker threads (at reduced
+// per-thread efficiency), which is both why a migrated-to-CPU job runs at
+// usable speed and why the paper keeps such jobs in the temporary pool —
+// their shards would otherwise occupy many global workers (§3.3).
+func intraOpShards(n *graph.Node, total time.Duration, poolSize int) int {
+	if n.Op == graph.OpPreprocess || n.CPUTime > 0 {
+		return 1 // data ops are sharded at graph-build time already
+	}
+	if total < 10*time.Millisecond {
+		return 1
+	}
+	shards := 8
+	if shards > poolSize {
+		shards = poolSize
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// mklScalingEfficiency discounts intra-op parallel speedup.
+const mklScalingEfficiency = 0.75
+
+// process runs after node n's worker time elapsed: CPU ops are then
+// complete; GPU ops enqueue their kernel; Send ops start their transfer.
+func (r *Run) process(n *graph.Node) {
+	if r.aborted || r.suspended {
+		return
+	}
+	switch {
+	case n.Op == graph.OpSend:
+		r.startSend(n)
+	case r.sub.Device.Kind == device.KindGPU:
+		class := r.cfg.Stream.GPU().Class
+		work := cost.KernelDuration(n, class)
+		if work == 0 {
+			r.complete(n)
+			return
+		}
+		r.cfg.Stream.Enqueue(device.Kernel{
+			Name:      n.Name,
+			Work:      work,
+			Occupancy: cost.Occupancy(n),
+			Ctx:       r.cfg.Ctx,
+			OnDone:    func() { r.complete(n) },
+		})
+	default:
+		r.complete(n)
+	}
+}
+
+// startSend moves n's tensor over the copy path toward its Recv peer.
+func (r *Run) startSend(n *graph.Node) {
+	if r.cfg.Machine == nil || len(n.Outputs()) == 0 {
+		r.complete(n)
+		return
+	}
+	dst := n.Outputs()[0].Device
+	engine, err := r.cfg.Machine.CopyPath(n.Device, dst)
+	if err != nil {
+		r.complete(n)
+		return
+	}
+	epoch := r.epoch
+	engine.Transfer(n.OutputBytes, 1, func() {
+		if epoch == r.epoch && !r.aborted && !r.suspended {
+			r.complete(n)
+		}
+	})
+}
+
+// complete marks n done and dispatches newly ready successors. While
+// suspended, progress is recorded (an in-flight kernel finishing during
+// the drain) but no new work is dispatched.
+func (r *Run) complete(n *graph.Node) {
+	if r.aborted || r.doneSet[n.ID] {
+		return
+	}
+	r.doneSet[n.ID] = true
+	r.done++
+	for _, succ := range n.Outputs() {
+		deps, ok := r.pending[succ.ID]
+		if !ok {
+			continue // successor lives in another subgraph
+		}
+		r.pending[succ.ID] = deps - 1
+		if deps-1 > 0 || r.suspended {
+			continue
+		}
+		class := device.GPUClass{}
+		if r.cfg.Stream != nil {
+			class = r.cfg.Stream.GPU().Class
+		}
+		if cost.IsExpensive(succ, class) {
+			// Expensive nodes get their own local queue (any worker).
+			r.dispatch(succ, -1, false)
+		} else {
+			// Inexpensive nodes ride the parent's queue.
+			r.dispatch(succ, n.ID%r.cfg.Pool.Size(), true)
+		}
+	}
+	if r.done == r.total && !r.suspended {
+		r.finish()
+	}
+}
+
+func (r *Run) finish() {
+	if r.aborted {
+		return
+	}
+	if r.onDone != nil {
+		r.onDone()
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"time"
+
+	"switchflow/internal/core"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// AblationRow evaluates one design choice of §3 by toggling it off and
+// re-running the canonical collocation (ResNet50 BS=1 inference stream +
+// VGG16 BS=32 training on a V100).
+type AblationRow struct {
+	Variant     string
+	ServeP95MS  float64
+	TrainImgPS  float64
+	PreemptP95  float64 // grant latency p95, ms
+	Description string
+}
+
+// Ablation runs the four variants plus the full design.
+func Ablation(requests int) []AblationRow {
+	variants := []struct {
+		name string
+		opts core.Options
+		desc string
+	}{
+		{"full", core.Options{},
+			"both invariants, async transfer, temp-pool isolation"},
+		{"no-gpu-exclusive", core.Options{DisableGPUExclusive: true},
+			"invariant 1 off: GPU executors co-run and contend"},
+		{"no-free-cpu", core.Options{DisableFreeCPUExecutors: true},
+			"invariant 2 off: input runs only under the GPU grant (time slicing)"},
+		{"sync-transfer", core.Options{SyncStateTransfer: true},
+			"migration state transfer on the preemption critical path"},
+		{"no-temp-pool", core.Options{DisableTempPoolIsolation: true},
+			"preempted jobs keep dispatching from the global pool"},
+	}
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		rows = append(rows, ablationOne(v.name, v.desc, v.opts, requests))
+	}
+	return rows
+}
+
+func ablationOne(name, desc string, opts core.Options, requests int) AblationRow {
+	eng := sim.NewEngine()
+	machine := machineFor(eng, "V100")
+	m := core.NewManager(eng, machine, opts)
+	train, err := m.AddJob(trainConfig("train", "VGG16", 32, 1))
+	if err != nil {
+		panic(err)
+	}
+	eng.RunUntil(2 * time.Second)
+	serve, err := m.AddJob(serveConfig("serve", "ResNet50", 1, 2))
+	if err != nil {
+		panic(err)
+	}
+	start, startIters := eng.Now(), train.Iterations
+	runUntil(eng, time.Hour, func() bool { return serve.Latencies.Count() >= requests })
+	window := eng.Now() - start
+	row := AblationRow{
+		Variant:     name,
+		Description: desc,
+		ServeP95MS:  serve.Latencies.Percentile(95).Seconds() * 1e3,
+		PreemptP95:  m.PreemptionLatencies.Percentile(95).Seconds() * 1e3,
+	}
+	if window > 0 {
+		row.TrainImgPS = float64((train.Iterations-startIters)*32) / window.Seconds()
+	}
+	return row
+}
+
+// AblationMigration compares async vs sync state transfer in the
+// two-GPU migration scenario of Figure 7(e), reporting how long the
+// high-priority job waits for its first iteration.
+type AblationMigrationRow struct {
+	Variant          string
+	HighFirstStepSec float64
+	LowRecoverySec   float64 // low job's first post-migration iteration
+}
+
+// AblationMigration runs both transfer modes.
+func AblationMigration() []AblationMigrationRow {
+	rows := make([]AblationMigrationRow, 0, 2)
+	for _, v := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"async-transfer", core.Options{}},
+		{"sync-transfer", core.Options{SyncStateTransfer: true}},
+	} {
+		rows = append(rows, ablationMigrationOne(v.name, v.opts))
+	}
+	return rows
+}
+
+func ablationMigrationOne(name string, opts core.Options) AblationMigrationRow {
+	eng := sim.NewEngine()
+	machine := newTwoGPUMachine(eng)
+	m := core.NewManager(eng, machine, opts)
+	low, err := m.AddJob(workload.Config{
+		Name:      "low",
+		Model:     mustSpec("VGG16"),
+		Batch:     32,
+		Kind:      workload.KindTraining,
+		Priority:  1,
+		Device:    gpu1,
+		Fallbacks: fallbackToGPU0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng.RunUntil(5 * time.Second)
+	highCfg := trainConfig("high", "ResNet50", 32, 2)
+	highCfg.Device = gpu1
+	high, err := m.AddJob(highCfg)
+	if err != nil {
+		panic(err)
+	}
+	arrival := eng.Now()
+	lowIters := low.Iterations
+	var highFirst, lowFirst time.Duration
+	runUntil(eng, time.Hour, func() bool {
+		if highFirst == 0 && high.Iterations > 0 {
+			highFirst = eng.Now() - arrival
+		}
+		if lowFirst == 0 && low.Iterations > lowIters {
+			lowFirst = eng.Now() - arrival
+		}
+		return highFirst > 0 && lowFirst > 0
+	})
+	return AblationMigrationRow{
+		Variant:          name,
+		HighFirstStepSec: highFirst.Seconds(),
+		LowRecoverySec:   lowFirst.Seconds(),
+	}
+}

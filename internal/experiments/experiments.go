@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated substrate. Each Figure*/Table* function
+// returns the rows/series the paper plots; cmd/swbench prints them and
+// bench_test.go wraps them as benchmarks. Iteration counts are
+// parameterised so benchmarks can run reduced versions.
+package experiments
+
+import (
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/models"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// runUntil steps the engine until cond returns true or the virtual horizon
+// passes; it reports whether cond was met.
+func runUntil(eng *sim.Engine, horizon time.Duration, cond func() bool) bool {
+	for {
+		if cond != nil && cond() {
+			return true
+		}
+		if eng.Now() >= horizon {
+			return false
+		}
+		if !eng.Step() {
+			if cond != nil && cond() {
+				return true
+			}
+			eng.RunUntil(horizon)
+			return cond != nil && cond()
+		}
+	}
+}
+
+// mustSpec resolves a model name; experiment tables only reference models
+// in the zoo, so failure is a programming error.
+func mustSpec(name string) *models.Spec {
+	spec, err := models.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// gpuByName maps the paper's GPU names to classes.
+func gpuByName(name string) device.GPUClass {
+	switch name {
+	case "V100":
+		return device.ClassV100
+	case "RTX 2080 Ti":
+		return device.ClassRTX2080Ti
+	case "GTX 1080 Ti":
+		return device.ClassGTX1080Ti
+	case "Jetson TX2":
+		return device.ClassJetsonTX2
+	default:
+		panic("unknown GPU " + name)
+	}
+}
+
+// machineFor builds a single-GPU machine with the CPU that accompanies the
+// GPU in the paper's testbeds.
+func machineFor(eng *sim.Engine, gpu string) *device.Machine {
+	class := gpuByName(gpu)
+	cpu := device.ClassXeonDual
+	if gpu == "Jetson TX2" {
+		cpu = device.ClassCortexA57
+	}
+	return device.NewMachine(eng, cpu, class)
+}
+
+// Common placements on the two-GPU server (GTX 1080 Ti = gpu:0,
+// RTX 2080 Ti = gpu:1).
+var (
+	gpu1           = device.GPUID(1)
+	fallbackToGPU0 = []device.ID{device.GPUID(0), device.CPUID}
+)
+
+// newTwoGPUMachine builds the GTX 1080 Ti + RTX 2080 Ti server.
+func newTwoGPUMachine(eng *sim.Engine) *device.Machine {
+	return device.NewTwoGPUServer(eng)
+}
+
+// trainConfig is a standard training-job config.
+func trainConfig(name, model string, batch, priority int) workload.Config {
+	return workload.Config{
+		Name:     name,
+		Model:    mustSpec(model),
+		Batch:    batch,
+		Kind:     workload.KindTraining,
+		Priority: priority,
+		Device:   device.GPUID(0),
+	}
+}
+
+// serveConfig is a closed-loop serving-job config (the paper's continuous
+// request stream, §5.2.1). Serving requests arrive as single decoded
+// images, so per-request CPU work is the ~10 ms of one decode rather than
+// the batched tf.data pipeline's amortized cost.
+func serveConfig(name, model string, batch, priority int) workload.Config {
+	return workload.Config{
+		Name:        name,
+		Model:       mustSpec(model),
+		Batch:       batch,
+		Kind:        workload.KindServing,
+		Priority:    priority,
+		Device:      device.GPUID(0),
+		ClosedLoop:  true,
+		PerImageCPU: 10 * time.Millisecond,
+	}
+}
+
+// saturatedConfig is a throughput-oriented inference config (Figures
+// 8-10). Collocated throughput jobs share one priority class so the GPU
+// arbiter round-robins instead of starving anyone.
+func saturatedConfig(name, model string, batch int) workload.Config {
+	return workload.Config{
+		Name:      name,
+		Model:     mustSpec(model),
+		Batch:     batch,
+		Kind:      workload.KindServing,
+		Priority:  1,
+		Device:    device.GPUID(0),
+		Saturated: true,
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import "switchflow/internal/workload"
+
+// Figure10Row is one bar of Figure 10: the gain of SwitchFlow's executor
+// interleaving (invariant 2: CPU executors run freely while another job
+// holds the GPU) over session-based time slicing, for *independent* models
+// with no input sharing.
+type Figure10Row struct {
+	Subfigure   string // "a", "b", "c"
+	Partner     string // the fixed co-runner
+	PartnerMode string // "inference" or "training"
+	Model       string
+	BaselineSec float64
+	SFSec       float64
+	ImprovePct  float64
+}
+
+// figure10Models is the varying-model axis (inference, BS=128).
+var figure10Models = []string{
+	"ResNet50", "VGG16", "DenseNet121", "InceptionV3",
+	"MobileNet", "MobileNetV2", "NASNetMobile",
+}
+
+// figure10Setups are the three subfigures.
+var figure10Setups = []struct {
+	sub      string
+	partner  string
+	training bool
+}{
+	{"a", "VGG16", false},
+	{"b", "NASNetLarge", false},
+	{"c", "VGG16", true},
+}
+
+// Figure10 measures interleaving on the V100; iters is sessions per model.
+func Figure10(iters int) []Figure10Row {
+	var rows []Figure10Row
+	for _, setup := range figure10Setups {
+		for _, model := range figure10Models {
+			rows = append(rows, Figure10Cell(setup.sub, setup.partner, setup.training, model, iters))
+		}
+	}
+	return rows
+}
+
+// Figure10Cell runs one cell: model (inference BS=128) co-run with the
+// partner under time slicing vs SwitchFlow (independent jobs).
+func Figure10Cell(sub, partner string, partnerTrains bool, model string, iters int) Figure10Row {
+	const batch = 128
+	cfgs := []workload.Config{
+		saturatedConfig("measured", model, batch),
+		collocatedConfig("partner", partner, partnerTrains, batch),
+	}
+	base := measureTimeSlice("V100", cfgs, iters)
+	sf := measureSwitchFlowIndependent("V100", cfgs, iters)
+	mode := "inference"
+	if partnerTrains {
+		mode = "training"
+	}
+	row := Figure10Row{
+		Subfigure:   sub,
+		Partner:     partner,
+		PartnerMode: mode,
+		Model:       model,
+		BaselineSec: base.Seconds(),
+		SFSec:       sf.Seconds(),
+	}
+	if base > 0 {
+		row.ImprovePct = (1 - sf.Seconds()/base.Seconds()) * 100
+	}
+	return row
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"time"
+
+	"switchflow/internal/baseline"
+	"switchflow/internal/core"
+	"switchflow/internal/sim"
+)
+
+// Figure6Row is one bar pair of Figure 6: the 95th-percentile latency of a
+// high-priority BS=1 inference stream collocated with a background
+// training job, under multi-threaded TF and under SwitchFlow.
+type Figure6Row struct {
+	TrainModel string
+	InferModel string
+	TFP95MS    float64
+	SFP95MS    float64
+	Speedup    float64 // TF / SwitchFlow
+}
+
+// figure6InferModels is the x-axis of subfigures (a)-(c).
+var figure6InferModels = []string{
+	"ResNet50", "VGG16", "VGG19", "DenseNet121", "DenseNet169",
+	"InceptionV3", "MobileNetV2", "NASNetMobile",
+}
+
+// figure6TrainBackgrounds are subfigures (a)-(c).
+var figure6TrainBackgrounds = []string{"MobileNetV2", "ResNet50", "VGG16"}
+
+// figure6NMTTrainJobs is subfigure (d): NMT inference against CNN
+// training jobs.
+var figure6NMTTrainJobs = []string{
+	"ResNet50", "VGG16", "VGG19", "DenseNet121", "InceptionV3", "MobileNetV2",
+}
+
+// Figure6 measures requests tail latency per (training, inference) pair.
+// requests is the number of completed inference requests sampled per cell
+// (after warmup).
+func Figure6(requests int) []Figure6Row {
+	var rows []Figure6Row
+	for _, bg := range figure6TrainBackgrounds {
+		for _, infer := range figure6InferModels {
+			rows = append(rows, figure6Cell(bg, infer, requests))
+		}
+	}
+	for _, bg := range figure6NMTTrainJobs {
+		rows = append(rows, figure6Cell(bg, "NMT", requests))
+	}
+	return rows
+}
+
+// Figure6Cell runs one (training, inference) pair.
+func Figure6Cell(trainModel, inferModel string, requests int) Figure6Row {
+	return figure6Cell(trainModel, inferModel, requests)
+}
+
+func figure6Cell(trainModel, inferModel string, requests int) Figure6Row {
+	tf := figure6TF(trainModel, inferModel, requests)
+	sf := figure6SF(trainModel, inferModel, requests)
+	row := Figure6Row{
+		TrainModel: trainModel,
+		InferModel: inferModel,
+		TFP95MS:    tf,
+		SFP95MS:    sf,
+	}
+	if sf > 0 {
+		row.Speedup = tf / sf
+	}
+	return row
+}
+
+const (
+	figure6TrainBatch = 32
+	figure6Warmup     = 2 * time.Second
+	figure6Horizon    = 30 * time.Minute
+)
+
+func figure6TF(trainModel, inferModel string, requests int) float64 {
+	eng := sim.NewEngine()
+	machine := machineFor(eng, "V100")
+	sched := baseline.NewThreadedTF(eng, machine)
+	if _, err := sched.AddJob(trainConfig("train", trainModel, figure6TrainBatch, 1)); err != nil {
+		panic(err)
+	}
+	eng.RunUntil(figure6Warmup)
+	serve, err := sched.AddJob(serveConfig("serve", inferModel, 1, 2))
+	if err != nil {
+		panic(err)
+	}
+	runUntil(eng, figure6Horizon, func() bool {
+		return serve.Latencies.Count() >= requests
+	})
+	return serve.Latencies.Percentile(95).Seconds() * 1e3
+}
+
+func figure6SF(trainModel, inferModel string, requests int) float64 {
+	eng := sim.NewEngine()
+	machine := machineFor(eng, "V100")
+	m := core.NewManager(eng, machine, core.Options{})
+	if _, err := m.AddJob(trainConfig("train", trainModel, figure6TrainBatch, 1)); err != nil {
+		panic(err)
+	}
+	eng.RunUntil(figure6Warmup)
+	serve, err := m.AddJob(serveConfig("serve", inferModel, 1, 2))
+	if err != nil {
+		panic(err)
+	}
+	runUntil(eng, figure6Horizon, func() bool {
+		return serve.Latencies.Count() >= requests
+	})
+	return serve.Latencies.Percentile(95).Seconds() * 1e3
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+
+	"switchflow/internal/workload"
+)
+
+// Figure9Row is one bar of Figure 9: input reuse among *different* CNN
+// models on a V100, across batch sizes and collocation degrees.
+type Figure9Row struct {
+	Models      []string
+	Batch       int
+	BaselineSec float64
+	ReuseSec    float64
+	ImprovePct  float64
+}
+
+// Label renders the model set compactly.
+func (r Figure9Row) Label() string { return strings.Join(r.Models, "+") }
+
+// figure9Sets are the collocated model groups (2, 3, and 4 models).
+var figure9Sets = [][]string{
+	{"ResNet50", "VGG16"},
+	{"ResNet50", "InceptionV3"},
+	{"MobileNetV2", "NASNetMobile"},
+	{"ResNet50", "VGG16", "InceptionV3"},
+	{"ResNet50", "VGG16", "InceptionV3", "DenseNet121"},
+}
+
+// figure9Batches are the batch sizes of the two subfigures.
+var figure9Batches = []int{32, 64, 128}
+
+// Figure9 measures mixed-model input reuse on the V100 (inference).
+func Figure9(iters int) []Figure9Row {
+	var rows []Figure9Row
+	for _, batch := range figure9Batches {
+		for _, set := range figure9Sets {
+			rows = append(rows, Figure9Cell(set, batch, iters))
+		}
+	}
+	return rows
+}
+
+// Figure9Cell runs one (model set, batch) cell.
+func Figure9Cell(set []string, batch, iters int) Figure9Row {
+	cfgs := make([]workload.Config, len(set))
+	for i, model := range set {
+		cfgs[i] = saturatedConfig(model, model, batch)
+	}
+	base := measureTimeSlice("V100", cfgs, iters)
+	reuse := measureSharedGroup("V100", cfgs, iters)
+	row := Figure9Row{
+		Models:      append([]string(nil), set...),
+		Batch:       batch,
+		BaselineSec: base.Seconds(),
+		ReuseSec:    reuse.Seconds(),
+	}
+	if base > 0 {
+		row.ImprovePct = (1 - reuse.Seconds()/base.Seconds()) * 100
+	}
+	return row
+}

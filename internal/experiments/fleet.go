@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"time"
+
+	"switchflow/internal/cluster"
+	"switchflow/internal/device"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// FleetRow summarizes one placement policy over the synthetic fleet
+// scenario: the status-quo "dedicate GPUs to training, pack inference"
+// policy versus SwitchFlow-enabled collocation (§1-2's deployment story).
+type FleetRow struct {
+	Policy          string
+	TrainingPlaced  int
+	TrainingQueued  int
+	MeanQueueDelayS float64 // over placed training jobs
+	TrainImgPS      float64 // aggregate across the fleet
+	WorstServeP95MS float64 // across services
+	SLOAttainPct    float64 // requests <= SLO across all services
+}
+
+// fleetSLO is the serving latency objective.
+const fleetSLO = 200 * time.Millisecond
+
+// Fleet runs the scenario under each policy: a 2-node, 4-GPU V100 fleet;
+// four training jobs and six inference services arriving over the first
+// minute; measured over the following window.
+func Fleet(window time.Duration) []FleetRow {
+	policies := []cluster.Policy{cluster.Dedicate{}, cluster.FirstFit{}, cluster.Collocate{}}
+	rows := make([]FleetRow, 0, len(policies))
+	for _, p := range policies {
+		rows = append(rows, fleetOne(p, window))
+	}
+	return rows
+}
+
+func fleetOne(policy cluster.Policy, window time.Duration) FleetRow {
+	eng := sim.NewEngine()
+	c := cluster.New(eng, policy, 2, device.ClassV100, device.ClassV100)
+
+	trainModels := []string{"ResNet50", "VGG16", "InceptionV3", "DenseNet121"}
+	var trainings []*cluster.JobHandle
+	for i, model := range trainModels {
+		cfg := workload.Config{
+			Name: "train-" + model, Model: mustSpec(model), Batch: 32,
+			Kind: workload.KindTraining, Priority: 1,
+		}
+		trainings = append(trainings, c.Submit(time.Duration(i)*10*time.Second, cfg))
+	}
+	serveModels := []string{"ResNet50", "MobileNetV2", "DenseNet121", "InceptionV3", "NASNetMobile", "VGG16"}
+	var services []*cluster.JobHandle
+	for i, model := range serveModels {
+		cfg := workload.Config{
+			Name: "serve-" + model, Model: mustSpec(model), Batch: 1,
+			Kind: workload.KindServing, Priority: 2,
+			ArrivalEvery:    150 * time.Millisecond,
+			PoissonArrivals: true,
+			ArrivalSeed:     int64(100 + i),
+			PerImageCPU:     10 * time.Millisecond,
+		}
+		services = append(services, c.Submit(time.Duration(i)*5*time.Second, cfg))
+	}
+
+	const settle = 60 * time.Second
+	eng.RunUntil(settle)
+	trainStart := make([]int, len(trainings))
+	for i, h := range trainings {
+		if h.Placed {
+			trainStart[i] = h.Job.Iterations
+		}
+	}
+	eng.RunUntil(settle + window)
+
+	row := FleetRow{Policy: policy.Name()}
+	var delays time.Duration
+	for i, h := range trainings {
+		if !h.Placed {
+			row.TrainingQueued++
+			continue
+		}
+		row.TrainingPlaced++
+		delays += h.QueueDelay()
+		row.TrainImgPS += float64((h.Job.Iterations-trainStart[i])*32) / window.Seconds()
+	}
+	if row.TrainingPlaced > 0 {
+		row.MeanQueueDelayS = delays.Seconds() / float64(row.TrainingPlaced)
+	}
+	total, below := 0, 0
+	for _, h := range services {
+		if !h.Placed || h.Job == nil {
+			continue
+		}
+		p95 := h.Job.Latencies.Percentile(95).Seconds() * 1e3
+		if p95 > row.WorstServeP95MS {
+			row.WorstServeP95MS = p95
+		}
+		total += h.Job.Latencies.Count()
+		below += h.Job.Latencies.Below(fleetSLO)
+	}
+	if total > 0 {
+		row.SLOAttainPct = float64(below) / float64(total) * 100
+	}
+	return row
+}

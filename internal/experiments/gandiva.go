@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"switchflow/internal/core"
+	"switchflow/internal/sim"
+)
+
+// GandivaRow compares preemption mechanisms (§6): SwitchFlow's
+// abort-and-resume against Gandiva-style checkpoint suspend-resume, for a
+// BS=1 inference stream preempting a training job on a V100.
+type GandivaRow struct {
+	TrainModel string
+	// SwitchFlow's numbers.
+	SFP95MS      float64
+	SFGrantP95MS float64
+	SFTrainPS    float64 // training steps/s while serving
+	// Checkpoint suspend-resume's numbers.
+	CkptP95MS      float64
+	CkptGrantP95MS float64
+	CkptTrainPS    float64
+}
+
+// gandivaModels spans light to heavy checkpoint sizes (Table 1).
+var gandivaModels = []string{"MobileNetV2", "ResNet50", "InceptionV3", "VGG16"}
+
+// Gandiva runs the comparison for each background model.
+func Gandiva(requests int) []GandivaRow {
+	rows := make([]GandivaRow, 0, len(gandivaModels))
+	for _, model := range gandivaModels {
+		rows = append(rows, GandivaCell(model, requests))
+	}
+	return rows
+}
+
+// GandivaCell runs one background model under both mechanisms.
+func GandivaCell(trainModel string, requests int) GandivaRow {
+	sfP95, sfGrant, sfTrain := gandivaOne(trainModel, requests, core.Options{})
+	ckP95, ckGrant, ckTrain := gandivaOne(trainModel, requests, core.Options{CheckpointPreemption: true})
+	return GandivaRow{
+		TrainModel:     trainModel,
+		SFP95MS:        sfP95,
+		SFGrantP95MS:   sfGrant,
+		SFTrainPS:      sfTrain,
+		CkptP95MS:      ckP95,
+		CkptGrantP95MS: ckGrant,
+		CkptTrainPS:    ckTrain,
+	}
+}
+
+func gandivaOne(trainModel string, requests int, opts core.Options) (p95, grantP95, trainPS float64) {
+	eng := sim.NewEngine()
+	machine := machineFor(eng, "V100")
+	m := core.NewManager(eng, machine, opts)
+	train, err := m.AddJob(trainConfig("train", trainModel, 32, 1))
+	if err != nil {
+		panic(err)
+	}
+	eng.RunUntil(2 * time.Second)
+	serve, err := m.AddJob(serveConfig("serve", "ResNet50", 1, 2))
+	if err != nil {
+		panic(err)
+	}
+	start, startIters := eng.Now(), train.Iterations
+	runUntil(eng, time.Hour, func() bool { return serve.Latencies.Count() >= requests })
+	window := eng.Now() - start
+	p95 = serve.Latencies.Percentile(95).Seconds() * 1e3
+	grantP95 = m.PreemptionLatencies.Percentile(95).Seconds() * 1e3
+	if window > 0 {
+		trainPS = float64(train.Iterations-startIters) / window.Seconds()
+	}
+	return p95, grantP95, trainPS
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"switchflow/internal/device"
+	"switchflow/internal/sim"
+)
+
+// Table1Row is one row of Table 1: the stateful variables a training job
+// must preserve across a migration and the GPU-to-GPU transfer time over
+// PCIe 3.0 x16.
+type Table1Row struct {
+	Model      string
+	StatefulMB float64 // MiB
+	Tensors    int
+	TransferMS float64
+	// PaperMB and PaperMS are the published values, for EXPERIMENTS.md.
+	PaperMB float64
+	PaperMS float64
+}
+
+// table1Paper holds the published Table 1 values.
+var table1Paper = []struct {
+	model string
+	mib   float64
+	ms    float64
+}{
+	{"ResNet50", 198.53, 28.838},
+	{"VGG16", 1055.58, 103.747},
+	{"VGG19", 1096.09, 109.416},
+	{"DenseNet121", 64.83, 39.823},
+	{"DenseNet169", 108.61, 45.236},
+	{"InceptionResNetV2", 426.18, 82.137},
+	{"InceptionV3", 182.00, 31.613},
+	{"MobileNetV2", 27.25, 17.505},
+}
+
+// Table1 regenerates the model-state-transfer table: per model, the
+// stateful-variable footprint (weights + optimizer slot) and the time to
+// move it between two GPUs.
+func Table1() []Table1Row {
+	eng := sim.NewEngine()
+	peer := device.NewCopyEngine(eng, device.ClassV100.PCIeGBps)
+	rows := make([]Table1Row, 0, len(table1Paper))
+	for _, p := range table1Paper {
+		spec := mustSpec(p.model)
+		bytes := spec.StatefulBytes()
+		tensors := spec.WeightVars()
+		d := peer.TransferTime(bytes, tensors)
+		rows = append(rows, Table1Row{
+			Model:      p.model,
+			StatefulMB: float64(bytes) / (1 << 20),
+			Tensors:    tensors,
+			TransferMS: d.Seconds() * 1e3,
+			PaperMB:    p.mib,
+			PaperMS:    p.ms,
+		})
+	}
+	return rows
+}

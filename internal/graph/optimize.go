@@ -1,0 +1,87 @@
+package graph
+
+// Static-graph optimization (§2: "the execution of a learning algorithm
+// can be accelerated by optimizing the directed graph, e.g., pruning,
+// merging"). FuseElementwise is the merging pass TF's grappler applies to
+// static graphs — and precisely what dynamic (eager) execution cannot do,
+// which is one reason the paper targets static graphs.
+
+// fusableOps are elementwise ops a producer kernel can absorb.
+var fusableOps = map[OpType]bool{
+	OpActivation: true,
+	OpBatchNorm:  true,
+	OpAdd:        true,
+}
+
+// FuseElementwise merges single-input elementwise nodes into their
+// producers when both live on the same device: the fused kernel carries
+// the combined FLOPs, memory traffic, and parameters, and one launch
+// replaces several. Returns the number of nodes fused away. Node IDs are
+// reassigned; callers must re-partition afterwards.
+func FuseElementwise(g *Graph) int {
+	fused := 0
+	for {
+		n := findFusable(g)
+		if n == nil {
+			break
+		}
+		pred := n.in[0]
+		// Absorb the elementwise op into its producer.
+		pred.FLOPs += n.FLOPs
+		pred.MemBytes += n.MemBytes
+		pred.ParamBytes += n.ParamBytes
+		pred.WeightVars += nodeWeightVars(n)
+		pred.OutputBytes = n.OutputBytes
+		pred.Name = pred.Name + "+" + n.Name
+		// Rewire pred -> n's successors.
+		pred.out = deleteNode(pred.out, n)
+		for _, succ := range n.out {
+			succ.in = deleteNode(succ.in, n)
+			g.Connect(pred, succ)
+		}
+		g.remove(n)
+		fused++
+	}
+	return fused
+}
+
+// findFusable locates one mergeable node: a fusable op with exactly one
+// input, whose producer is a compute op on the same device and has no
+// other consumers (so fusion cannot duplicate the producer's work).
+func findFusable(g *Graph) *Node {
+	for _, n := range g.nodes {
+		if !fusableOps[n.Op] {
+			continue
+		}
+		if len(n.in) != 1 {
+			continue
+		}
+		pred := n.in[0]
+		if pred.Device != n.Device {
+			continue
+		}
+		if len(pred.out) != 1 {
+			continue
+		}
+		switch pred.Op {
+		case OpConv2D, OpDepthwiseConv2D, OpDense, OpBatchNorm, OpActivation,
+			OpAdd, OpPool, OpLSTMCell, OpAttention, OpGradient:
+			return n
+		}
+	}
+	return nil
+}
+
+// remove deletes n from the node list and reassigns IDs.
+func (g *Graph) remove(n *Node) {
+	kept := g.nodes[:0]
+	for _, x := range g.nodes {
+		if x != n {
+			kept = append(kept, x)
+		}
+	}
+	g.nodes = kept
+	for i, x := range g.nodes {
+		x.ID = i
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+
+	"switchflow/internal/device"
+)
+
+// Subgraph is the slice of a graph placed on one device, executed by one
+// executor (§2.1: "there could be multiple executors in a session, each
+// including nodes to be executed on a single device").
+type Subgraph struct {
+	// Graph is the parent graph.
+	Graph *Graph
+	// Device is the placement all member nodes share.
+	Device device.ID
+	// Nodes are the member nodes in parent topological order, including
+	// the Send/Recv nodes synthesized at partition boundaries.
+	Nodes []*Node
+}
+
+// Name returns a readable label, e.g. "resnet50@gpu:0".
+func (s *Subgraph) Name() string {
+	return fmt.Sprintf("%s@%s", s.Graph.Name, s.Device)
+}
+
+// ParamBytes sums parameter bytes of member nodes.
+func (s *Subgraph) ParamBytes() int64 {
+	var total int64
+	for _, n := range s.Nodes {
+		total += n.ParamBytes
+	}
+	return total
+}
+
+// WeightTensors counts weight variables across member nodes.
+func (s *Subgraph) WeightTensors() int {
+	count := 0
+	for _, n := range s.Nodes {
+		count += nodeWeightVars(n)
+	}
+	return count
+}
+
+// Partition splits g into per-device subgraphs, inserting a Send node on
+// the producer's device and a Recv node on the consumer's device for every
+// edge that crosses devices. It mutates g by appending the Send/Recv nodes.
+// Subgraphs come back ordered CPU first, then GPUs by index, matching the
+// executor creation order in TF sessions.
+func Partition(g *Graph) ([]*Subgraph, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Rewire cross-device edges through Send/Recv pairs. Iterate over a
+	// snapshot because we append nodes while rewiring.
+	for _, n := range order {
+		outs := append([]*Node(nil), n.out...)
+		for _, succ := range outs {
+			if succ.Device == n.Device || succ.Op == OpSend || succ.Op == OpRecv {
+				continue
+			}
+			insertSendRecv(g, n, succ)
+		}
+	}
+	// Bucket nodes per device, preserving a fresh topological order that
+	// includes the synthesized nodes.
+	order, err = g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	buckets := make(map[device.ID][]*Node)
+	for _, n := range order {
+		buckets[n.Device] = append(buckets[n.Device], n)
+	}
+	var subs []*Subgraph
+	if nodes, ok := buckets[device.CPUID]; ok {
+		subs = append(subs, &Subgraph{Graph: g, Device: device.CPUID, Nodes: nodes})
+	}
+	maxGPU := -1
+	for id := range buckets {
+		if id.Kind == device.KindGPU && id.Index > maxGPU {
+			maxGPU = id.Index
+		}
+	}
+	for i := 0; i <= maxGPU; i++ {
+		if nodes, ok := buckets[device.GPUID(i)]; ok {
+			subs = append(subs, &Subgraph{Graph: g, Device: device.GPUID(i), Nodes: nodes})
+		}
+	}
+	return subs, nil
+}
+
+// insertSendRecv replaces the direct edge src->dst with
+// src -> send(src.Device) -> recv(dst.Device) -> dst.
+func insertSendRecv(g *Graph, src, dst *Node) {
+	send := g.AddNode(&Node{
+		Name:        fmt.Sprintf("send_%s_to_%s", src.Name, dst.Device),
+		Op:          OpSend,
+		Device:      src.Device,
+		OutputBytes: src.OutputBytes,
+	})
+	recv := g.AddNode(&Node{
+		Name:        fmt.Sprintf("recv_%s_on_%s", src.Name, dst.Device),
+		Op:          OpRecv,
+		Device:      dst.Device,
+		OutputBytes: src.OutputBytes,
+	})
+	removeEdge(src, dst)
+	g.Connect(src, send)
+	g.Connect(send, recv)
+	g.Connect(recv, dst)
+}
+
+func removeEdge(src, dst *Node) {
+	src.out = deleteNode(src.out, dst)
+	dst.in = deleteNode(dst.in, src)
+}
+
+func deleteNode(list []*Node, n *Node) []*Node {
+	for i, x := range list {
+		if x == n {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -1,0 +1,86 @@
+package launchcfg
+
+import "testing"
+
+func env(m map[string]string) func(string) string {
+	return func(k string) string { return m[k] }
+}
+
+// listing1 is the exact configuration of the paper's Listing 1.
+var listing1 = map[string]string{
+	EnvReuseInputs: "True",
+	EnvMasterX:     "X00",
+	EnvMasterY:     "y00",
+	EnvSubX:        "X01",
+	EnvSubY:        "y01",
+}
+
+func TestListing1Parses(t *testing.T) {
+	cfg, err := FromEnv(env(listing1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.ReuseInputs {
+		t.Fatal("reuse not enabled")
+	}
+	if cfg.MasterX != "X00" || cfg.MasterY != "y00" {
+		t.Fatalf("master = %s/%s", cfg.MasterX, cfg.MasterY)
+	}
+	if len(cfg.SubX) != 1 || cfg.SubX[0] != "X01" || cfg.SubY[0] != "y01" {
+		t.Fatalf("subs = %v/%v", cfg.SubX, cfg.SubY)
+	}
+	if cfg.GroupSize() != 2 {
+		t.Fatalf("GroupSize() = %d, want 2", cfg.GroupSize())
+	}
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	cfg, err := FromEnv(env(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ReuseInputs || cfg.GroupSize() != 0 {
+		t.Fatalf("default config = %+v", cfg)
+	}
+}
+
+func TestMultipleSubsidiaries(t *testing.T) {
+	m := map[string]string{
+		EnvReuseInputs: "true",
+		EnvMasterX:     "X00", EnvMasterY: "y00",
+		EnvSubX: "X01, X02,X03", EnvSubY: "y01,y02, y03",
+	}
+	cfg, err := FromEnv(env(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GroupSize() != 4 {
+		t.Fatalf("GroupSize() = %d, want 4", cfg.GroupSize())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(map[string]string)
+	}{
+		{"bad bool", func(m map[string]string) { m[EnvReuseInputs] = "maybe" }},
+		{"missing master x", func(m map[string]string) { delete(m, EnvMasterX) }},
+		{"missing master y", func(m map[string]string) { delete(m, EnvMasterY) }},
+		{"no subsidiaries", func(m map[string]string) { delete(m, EnvSubX); delete(m, EnvSubY) }},
+		{"unpaired subs", func(m map[string]string) { m[EnvSubX] = "X01,X02" }},
+		{"duplicate names", func(m map[string]string) { m[EnvSubX] = "X00" }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := make(map[string]string, len(listing1))
+			for k, v := range listing1 {
+				m[k] = v
+			}
+			tt.mutate(m)
+			if _, err := FromEnv(env(m)); err == nil {
+				t.Fatalf("config %v accepted", m)
+			}
+		})
+	}
+}

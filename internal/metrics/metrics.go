@@ -1,0 +1,124 @@
+// Package metrics collects the measurements the paper reports: latency
+// percentiles (Figure 6), throughputs (Figure 7), and GPU busy fractions
+// (Figure 3).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Latency accumulates duration samples and answers percentile queries.
+type Latency struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latency) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank; zero with no samples.
+func (l *Latency) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	if p <= 0 {
+		return l.samples[0]
+	}
+	if p >= 100 {
+		return l.samples[len(l.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return l.samples[rank-1]
+}
+
+// Mean returns the arithmetic mean; zero with no samples.
+func (l *Latency) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range l.samples {
+		total += s
+	}
+	return total / time.Duration(len(l.samples))
+}
+
+// Max returns the largest sample; zero with no samples.
+func (l *Latency) Max() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[len(l.samples)-1]
+}
+
+// Min returns the smallest sample; zero with no samples.
+func (l *Latency) Min() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[0]
+}
+
+// Below returns how many samples are <= d (SLO attainment numerator).
+func (l *Latency) Below(d time.Duration) int {
+	count := 0
+	for _, s := range l.samples {
+		if s <= d {
+			count++
+		}
+	}
+	return count
+}
+
+func (l *Latency) sort() {
+	if l.sorted {
+		return
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	l.sorted = true
+}
+
+// Throughput converts a count over a window into items/second.
+func Throughput(items int, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(items) / window.Seconds()
+}
+
+// BusyFraction is busy/total clamped to [0,1].
+func BusyFraction(busy, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	f := float64(busy) / float64(total)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// FormatMs renders a duration as milliseconds with two decimals, the unit
+// the paper's tables use.
+func FormatMs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds()*1e3)
+}

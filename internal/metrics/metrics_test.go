@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyPercentiles(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{0, time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := l.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestLatencyUnsortedInput(t *testing.T) {
+	var l Latency
+	for _, ms := range []int{30, 10, 20} {
+		l.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if got := l.Min(); got != 10*time.Millisecond {
+		t.Fatalf("Min() = %v", got)
+	}
+	if got := l.Max(); got != 30*time.Millisecond {
+		t.Fatalf("Max() = %v", got)
+	}
+	if got := l.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean() = %v", got)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Percentile(95) != 0 || l.Mean() != 0 || l.Max() != 0 || l.Min() != 0 {
+		t.Fatal("empty latency should report zeros")
+	}
+	if l.Count() != 0 {
+		t.Fatal("empty latency count != 0")
+	}
+}
+
+func TestLatencyAddAfterQuery(t *testing.T) {
+	var l Latency
+	l.Add(10 * time.Millisecond)
+	_ = l.Percentile(50)
+	l.Add(time.Millisecond)
+	if got := l.Min(); got != time.Millisecond {
+		t.Fatalf("Min() after late add = %v, want 1ms", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(200, 2*time.Second); got != 100 {
+		t.Fatalf("Throughput = %v, want 100", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("Throughput with zero window = %v", got)
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	if got := BusyFraction(time.Second, 4*time.Second); got != 0.25 {
+		t.Fatalf("BusyFraction = %v, want 0.25", got)
+	}
+	if got := BusyFraction(5*time.Second, time.Second); got != 1 {
+		t.Fatalf("BusyFraction clamps to 1, got %v", got)
+	}
+	if got := BusyFraction(time.Second, 0); got != 0 {
+		t.Fatalf("BusyFraction zero total = %v", got)
+	}
+}
+
+func TestFormatMs(t *testing.T) {
+	if got := FormatMs(28838 * time.Microsecond); got != "28.84" {
+		t.Fatalf("FormatMs = %q, want 28.84", got)
+	}
+}
+
+// Property: the percentile function is monotone in p and brackets the
+// sample range.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latency
+		for _, v := range raw {
+			l.Add(time.Duration(v) * time.Microsecond)
+		}
+		sorted := append([]uint16(nil), raw...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := l.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return l.Min() == time.Duration(sorted[0])*time.Microsecond &&
+			l.Max() == time.Duration(sorted[len(sorted)-1])*time.Microsecond
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBelow(t *testing.T) {
+	var l Latency
+	for _, ms := range []int{10, 50, 100, 200, 500} {
+		l.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if got := l.Below(100 * time.Millisecond); got != 3 {
+		t.Fatalf("Below(100ms) = %d, want 3", got)
+	}
+	if got := l.Below(time.Millisecond); got != 0 {
+		t.Fatalf("Below(1ms) = %d, want 0", got)
+	}
+	if got := l.Below(time.Second); got != 5 {
+		t.Fatalf("Below(1s) = %d, want 5", got)
+	}
+}

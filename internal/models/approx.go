@@ -1,0 +1,157 @@
+package models
+
+import "strconv"
+
+// Approximate builders for architectures whose exact cell structure is
+// impractical to restate (Inception, NASNet): a stem + a pyramid of conv/BN
+// stages whose parameter and FLOP totals are calibrated to the published
+// Keras numbers. The layer-count and variable-count structure matches the
+// real networks closely enough to reproduce Table 1's per-tensor transfer
+// overheads, and the activation pyramid reproduces the memory behaviour.
+
+// approxParams groups the calibration targets of an approximated CNN.
+type approxParams struct {
+	name        string
+	input       int   // square input resolution
+	convs       int   // convolution count (each followed by BN)
+	stages      int   // spatial halvings across the body
+	totalParams int64 // published trainable parameter count
+	totalFLOPs  float64
+	classifier  int   // classifier input width
+	actPerImage int64 // total fp32 activation bytes per image
+}
+
+// InceptionV3 approximates the 94-conv Inception v3 (input 299).
+func InceptionV3() *Spec {
+	return approxCNN(approxParams{
+		name:        "InceptionV3",
+		input:       299,
+		convs:       94,
+		stages:      5,
+		totalParams: 23_851_784,
+		totalFLOPs:  11.4e9,
+		classifier:  2048,
+		actPerImage: 100 << 20,
+	})
+}
+
+// InceptionResNetV2 approximates the 244-conv Inception-ResNet v2.
+func InceptionResNetV2() *Spec {
+	return approxCNN(approxParams{
+		name:        "InceptionResNetV2",
+		input:       299,
+		convs:       224,
+		stages:      5,
+		totalParams: 55_873_736,
+		totalFLOPs:  26.4e9,
+		classifier:  1536,
+		actPerImage: 180 << 20,
+	})
+}
+
+// NASNetLarge approximates NASNet-A Large (input 331).
+func NASNetLarge() *Spec {
+	return approxCNN(approxParams{
+		name:        "NASNetLarge",
+		input:       331,
+		convs:       268,
+		stages:      5,
+		totalParams: 88_949_818,
+		totalFLOPs:  47.6e9,
+		classifier:  4032,
+		actPerImage: 200 << 20,
+	})
+}
+
+// NASNetMobile approximates NASNet-A Mobile.
+func NASNetMobile() *Spec {
+	return approxCNN(approxParams{
+		name:        "NASNetMobile",
+		input:       224,
+		convs:       188,
+		stages:      5,
+		totalParams: 5_326_716,
+		totalFLOPs:  1.13e9,
+		classifier:  1056,
+		actPerImage: 60 << 20,
+	})
+}
+
+func approxCNN(p approxParams) *Spec {
+	var layers []Layer
+
+	// Distribute parameters across convs proportional to depth squared
+	// (channel counts grow with depth), FLOPs uniformly with a mild
+	// ramp-down (spatial shrinkage offsets channel growth), and
+	// activations decaying with depth (early layers dominate memory).
+	paramWeights := make([]float64, p.convs)
+	flopWeights := make([]float64, p.convs)
+	actWeights := make([]float64, p.convs)
+	var paramSum, flopSum, actSum float64
+	for i := range paramWeights {
+		depth := float64(i+1) / float64(p.convs)
+		paramWeights[i] = depth * depth
+		flopWeights[i] = 1.2 - 0.4*depth
+		actWeights[i] = 1.5 - depth
+		paramSum += paramWeights[i]
+		flopSum += flopWeights[i]
+		actSum += actWeights[i]
+	}
+
+	// Reserve the classifier's share first.
+	fcParams := int64(p.classifier*1000 + 1000)
+	fcFLOPs := 2 * float64(p.classifier) * 1000
+	bodyParams := p.totalParams - fcParams
+	bodyFLOPs := p.totalFLOPs - fcFLOPs
+
+	// BN layers take 4 variables each and a small parameter share.
+	const bnParamsPerConv = 256 // ~4 x avg channels / conv, folded in
+
+	for i := 0; i < p.convs; i++ {
+		convParams := int64(paramWeights[i] / paramSum * float64(bodyParams))
+		if convParams < bnParamsPerConv {
+			convParams = bnParamsPerConv
+		}
+		convFLOPs := flopWeights[i] / flopSum * float64(bodyFLOPs)
+		// The conv+bn pair shares the layer's activation budget.
+		actBytes := int64(actWeights[i] / actSum * float64(p.actPerImage) / 2)
+		layers = append(layers,
+			Layer{
+				Name:     layerName("conv", i),
+				Kind:     LConv,
+				FLOPs:    convFLOPs * 0.96,
+				Params:   convParams - bnParamsPerConv,
+				Vars:     1,
+				ActBytes: actBytes,
+			},
+			Layer{
+				Name:  layerName("bn", i),
+				Kind:  LBatchNorm,
+				FLOPs: convFLOPs * 0.04,
+				// Inception/NASNet-family BatchNorms carry no gamma in
+				// Keras: beta, moving mean, moving variance only.
+				Params:   bnParamsPerConv,
+				Vars:     3,
+				ActBytes: actBytes,
+			},
+		)
+	}
+	layers = append(layers,
+		Layer{Name: "gap", Kind: LPool, FLOPs: float64(p.classifier) * 64, ActBytes: int64(p.classifier) * 4},
+		Layer{Name: "fc", Kind: LDense, FLOPs: fcFLOPs, Params: fcParams, Vars: 2, ActBytes: 4000},
+		Layer{Name: "softmax", Kind: LSoftmax, FLOPs: 5000, ActBytes: 4000},
+	)
+	return &Spec{
+		Name:        p.name,
+		InputH:      p.input,
+		InputW:      p.input,
+		InputC:      3,
+		Classes:     1000,
+		Layers:      layers,
+		Approximate: true,
+	}
+}
+
+func layerName(prefix string, i int) string {
+	return prefix + "_" + strconv.Itoa(i+1)
+}

@@ -1,0 +1,234 @@
+package models
+
+// Exact-structure builders: VGG, ResNet, DenseNet, MobileNet. Parameter
+// totals are asserted against the published Keras counts in tests.
+
+// VGG16 builds the 16-layer VGG network (Simonyan & Zisserman).
+func VGG16() *Spec {
+	return vgg("VGG16", []int{2, 2, 3, 3, 3})
+}
+
+// VGG19 builds the 19-layer VGG network.
+func VGG19() *Spec {
+	return vgg("VGG19", []int{2, 2, 4, 4, 4})
+}
+
+func vgg(name string, convsPerStage []int) *Spec {
+	b := newBuilder(224, 224, 3)
+	channels := []int{64, 128, 256, 512, 512}
+	for stage, convs := range convsPerStage {
+		for i := 0; i < convs; i++ {
+			b.conv(channels[stage], 3, 1, true)
+			b.relu()
+		}
+		b.pool(2, 2)
+	}
+	b.flattenTo(7 * 7 * 512)
+	b.dense(4096)
+	b.relu()
+	b.dense(4096)
+	b.relu()
+	b.dense(1000)
+	b.softmax()
+	return &Spec{
+		Name: name, InputH: 224, InputW: 224, InputC: 3, Classes: 1000,
+		Layers: b.layers,
+	}
+}
+
+// ResNet50 builds the 50-layer residual network (He et al.).
+func ResNet50() *Spec {
+	b := newBuilder(224, 224, 3)
+	b.conv(64, 7, 2, true)
+	b.bn()
+	b.relu()
+	b.pool(3, 2)
+	stages := []struct {
+		blocks, width, stride int
+	}{
+		{3, 64, 1},
+		{4, 128, 2},
+		{6, 256, 2},
+		{3, 512, 2},
+	}
+	for _, st := range stages {
+		for blk := 0; blk < st.blocks; blk++ {
+			stride := 1
+			if blk == 0 {
+				stride = st.stride
+			}
+			bottleneck(b, st.width, stride, blk == 0)
+		}
+	}
+	b.globalPool()
+	b.dense(1000)
+	b.softmax()
+	return &Spec{
+		Name: "ResNet50", InputH: 224, InputW: 224, InputC: 3, Classes: 1000,
+		Layers: b.layers,
+	}
+}
+
+// bottleneck appends a ResNet bottleneck block: 1x1 reduce, 3x3, 1x1
+// expand (4x width), each with BN, plus a projection shortcut on the first
+// block of a stage.
+func bottleneck(b *layerBuilder, width, stride int, project bool) {
+	inC := b.c
+	inH, inW := b.h, b.w
+	b.conv(width, 1, stride, true)
+	b.bn()
+	b.relu()
+	b.conv(width, 3, 1, true)
+	b.bn()
+	b.relu()
+	b.conv(4*width, 1, 1, true)
+	b.bn()
+	if project {
+		// Projection shortcut runs in parallel with the main path; model
+		// its cost as extra layers on the chain.
+		side := newBuilder(inH, inW, inC)
+		side.conv(4*width, 1, stride, true)
+		side.bn()
+		for i := range side.layers {
+			side.layers[i].Name = "short_" + side.layers[i].Name
+		}
+		b.layers = append(b.layers, side.layers...)
+	}
+	b.add()
+	b.relu()
+}
+
+// DenseNet121 builds DenseNet-BC-121 (growth 32, compression 0.5).
+func DenseNet121() *Spec {
+	return denseNet("DenseNet121", []int{6, 12, 24, 16})
+}
+
+// DenseNet169 builds DenseNet-BC-169.
+func DenseNet169() *Spec {
+	return denseNet("DenseNet169", []int{6, 12, 32, 32})
+}
+
+func denseNet(name string, blockConfig []int) *Spec {
+	const growth = 32
+	b := newBuilder(224, 224, 3)
+	b.conv(2*growth, 7, 2, false)
+	b.bn()
+	b.relu()
+	b.pool(3, 2)
+	for stage, layers := range blockConfig {
+		for i := 0; i < layers; i++ {
+			denseLayer(b, growth)
+		}
+		if stage < len(blockConfig)-1 {
+			// Transition: BN + 1x1 conv halving channels + 2x2 avg pool.
+			b.bn()
+			b.relu()
+			b.conv(b.c/2, 1, 1, false)
+			b.pool(2, 2)
+		}
+	}
+	b.bn()
+	b.relu()
+	b.globalPool()
+	b.dense(1000)
+	b.softmax()
+	return &Spec{
+		Name: name, InputH: 224, InputW: 224, InputC: 3, Classes: 1000,
+		Layers: b.layers,
+	}
+}
+
+// denseLayer appends one DenseNet-BC layer: BN-ReLU-1x1(4k)-BN-ReLU-3x3(k)
+// and concatenates the k new channels onto the running feature map.
+func denseLayer(b *layerBuilder, growth int) {
+	inC := b.c
+	b.bn()
+	b.relu()
+	b.conv(4*growth, 1, 1, false)
+	b.bn()
+	b.relu()
+	b.conv(growth, 3, 1, false)
+	b.concatTo(inC + growth)
+}
+
+// MobileNet builds MobileNet v1 (alpha=1).
+func MobileNet() *Spec {
+	b := newBuilder(224, 224, 3)
+	b.conv(32, 3, 2, false)
+	b.bn()
+	b.relu()
+	cfg := []struct{ cout, stride int }{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	for _, c := range cfg {
+		b.dwConv(3, c.stride)
+		b.bn()
+		b.relu()
+		b.conv(c.cout, 1, 1, false)
+		b.bn()
+		b.relu()
+	}
+	b.globalPool()
+	b.dense(1000)
+	b.softmax()
+	return &Spec{
+		Name: "MobileNet", InputH: 224, InputW: 224, InputC: 3, Classes: 1000,
+		Layers: b.layers,
+	}
+}
+
+// MobileNetV2 builds MobileNet v2 (alpha=1, inverted residuals).
+func MobileNetV2() *Spec {
+	b := newBuilder(224, 224, 3)
+	b.conv(32, 3, 2, false)
+	b.bn()
+	b.relu()
+	cfg := []struct{ expand, cout, repeat, stride int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for _, c := range cfg {
+		for i := 0; i < c.repeat; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.stride
+			}
+			invertedResidual(b, c.expand, c.cout, stride)
+		}
+	}
+	b.conv(1280, 1, 1, false)
+	b.bn()
+	b.relu()
+	b.globalPool()
+	b.dense(1000)
+	b.softmax()
+	return &Spec{
+		Name: "MobileNetV2", InputH: 224, InputW: 224, InputC: 3, Classes: 1000,
+		Layers: b.layers,
+	}
+}
+
+// invertedResidual appends an MBConv block: 1x1 expand, 3x3 depthwise,
+// 1x1 linear project, with a residual add when shapes match.
+func invertedResidual(b *layerBuilder, expand, cout, stride int) {
+	inC := b.c
+	if expand != 1 {
+		b.conv(inC*expand, 1, 1, false)
+		b.bn()
+		b.relu()
+	}
+	b.dwConv(3, stride)
+	b.bn()
+	b.relu()
+	b.conv(cout, 1, 1, false)
+	b.bn()
+	if stride == 1 && inC == cout {
+		b.add()
+	}
+}

@@ -1,0 +1,92 @@
+package models
+
+import "fmt"
+
+// NMT approximates the German-English WMT'16 sequence-to-sequence model
+// used in §5: a 2-layer LSTM encoder, a 2-layer LSTM decoder with
+// attention, 512 hidden units, and a 32k vocabulary. Recurrent steps are
+// modelled as one LSTMCell layer per (layer, timestep), which is what
+// makes RNN inference "fairly expensive on GPU" at batch size 1 — a long
+// chain of serialized kernels.
+func NMT() *Spec {
+	const (
+		vocab  = 32000
+		hidden = 512
+		layers = 2
+		seqLen = 30
+	)
+	var ls []Layer
+
+	embedParams := int64(2 * vocab * hidden) // source + target tables
+	ls = append(ls, Layer{
+		Name:     "embedding",
+		Kind:     LEmbedding,
+		FLOPs:    float64(2 * seqLen * hidden),
+		Params:   embedParams,
+		Vars:     2,
+		ActBytes: int64(seqLen*hidden) * 4,
+	})
+
+	// One LSTM cell: 4 gates of (input + recurrent + bias) weights.
+	cellParams := int64(4 * hidden * (2*hidden + 1))
+	cellFLOPs := 2 * float64(4*hidden*2*hidden)
+	for _, side := range []string{"enc", "dec"} {
+		for l := 0; l < layers; l++ {
+			for t := 0; t < seqLen; t++ {
+				layer := Layer{
+					Name:     fmt.Sprintf("%s_l%d_t%d", side, l, t),
+					Kind:     LLSTMCell,
+					FLOPs:    cellFLOPs,
+					ActBytes: int64(hidden) * 4,
+				}
+				if t == 0 {
+					// The cell's weights are shared across timesteps;
+					// attribute them to the first step.
+					layer.Params = cellParams
+					layer.Vars = 3 // kernel, recurrent kernel, bias
+				}
+				ls = append(ls, layer)
+			}
+		}
+	}
+
+	// Attention over encoder states, once per decoder step.
+	for t := 0; t < seqLen; t++ {
+		layer := Layer{
+			Name:     fmt.Sprintf("attn_t%d", t),
+			Kind:     LAttention,
+			FLOPs:    2 * float64(seqLen*hidden) * 2,
+			ActBytes: int64(hidden) * 4,
+		}
+		if t == 0 {
+			layer.Params = int64(2 * hidden * hidden)
+			layer.Vars = 2
+		}
+		ls = append(ls, layer)
+	}
+
+	// Output projection to the vocabulary, once per decoder step.
+	projParams := int64(hidden*vocab + vocab)
+	for t := 0; t < seqLen; t++ {
+		layer := Layer{
+			Name:     fmt.Sprintf("proj_t%d", t),
+			Kind:     LDense,
+			FLOPs:    2 * float64(hidden*vocab),
+			ActBytes: int64(vocab) * 4,
+		}
+		if t == 0 {
+			layer.Params = projParams
+			layer.Vars = 2
+		}
+		ls = append(ls, layer)
+	}
+	ls = append(ls, Layer{Name: "softmax", Kind: LSoftmax, FLOPs: 5 * vocab, ActBytes: vocab * 4})
+
+	return &Spec{
+		Name:        "NMT",
+		Classes:     vocab,
+		Layers:      ls,
+		SeqLen:      seqLen,
+		Approximate: true,
+	}
+}

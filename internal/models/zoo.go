@@ -1,0 +1,46 @@
+package models
+
+import "fmt"
+
+// zoo maps canonical names to builders.
+var zoo = map[string]func() *Spec{
+	"ResNet50":          ResNet50,
+	"VGG16":             VGG16,
+	"VGG19":             VGG19,
+	"DenseNet121":       DenseNet121,
+	"DenseNet169":       DenseNet169,
+	"InceptionV3":       InceptionV3,
+	"InceptionResNetV2": InceptionResNetV2,
+	"MobileNet":         MobileNet,
+	"MobileNetV2":       MobileNetV2,
+	"NASNetLarge":       NASNetLarge,
+	"NASNetMobile":      NASNetMobile,
+	"NMT":               NMT,
+}
+
+// Names returns all model names in sorted order.
+func Names() []string { return sortedNames(zoo) }
+
+// ByName builds the named model.
+func ByName(name string) (*Spec, error) {
+	build, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (known: %v)", name, Names())
+	}
+	return build(), nil
+}
+
+// CNNs returns the eleven image models (everything but NMT), in the order
+// the paper's figures list them.
+func CNNs() []*Spec {
+	names := []string{
+		"ResNet50", "VGG16", "VGG19", "DenseNet121", "DenseNet169",
+		"InceptionResNetV2", "InceptionV3", "MobileNet", "MobileNetV2",
+		"NASNetLarge", "NASNetMobile",
+	}
+	specs := make([]*Spec, len(names))
+	for i, name := range names {
+		specs[i] = zoo[name]()
+	}
+	return specs
+}

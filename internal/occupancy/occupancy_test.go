@@ -1,0 +1,165 @@
+package occupancy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// cuDNN-style implicit-GEMM convolution launch: 256 threads, 96 registers
+// per thread, 40 KiB shared memory — the profile nvprof reports for heavy
+// conv kernels.
+var convLaunch = LaunchConfig{
+	ThreadsPerBlock:    256,
+	RegistersPerThread: 96,
+	SharedMemPerBlock:  40 << 10,
+	GridBlocks:         4096,
+}
+
+// Elementwise kernel: 256 threads, 24 registers, no shared memory.
+var elementwiseLaunch = LaunchConfig{
+	ThreadsPerBlock:    256,
+	RegistersPerThread: 24,
+	GridBlocks:         128,
+}
+
+func TestConvKernelIsRegisterBound(t *testing.T) {
+	// §2.2: "10 of the 13 kernels were bottlenecked by GPU register files
+	// and cannot run concurrently."
+	a, err := Analyze(convLaunch, Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.RegisterBound {
+		t.Fatalf("conv launch not register bound: limiter = %v", a.Limiter)
+	}
+	// 65536 regs / (96 x 256) = 2 blocks; 2x8 warps of 64 = 25%.
+	if a.BlocksPerSM != 2 {
+		t.Fatalf("BlocksPerSM = %d, want 2", a.BlocksPerSM)
+	}
+	if a.WarpOccupancy < 0.2 || a.WarpOccupancy > 0.3 {
+		t.Fatalf("WarpOccupancy = %.2f, want ~0.25", a.WarpOccupancy)
+	}
+}
+
+func TestElementwiseKernelIsThreadBound(t *testing.T) {
+	a, err := Analyze(elementwiseLaunch, Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RegisterBound {
+		t.Fatal("elementwise launch should not be register bound")
+	}
+	if a.Limiter != LimitThreads {
+		t.Fatalf("limiter = %v, want threads", a.Limiter)
+	}
+	if a.WarpOccupancy != 1.0 {
+		t.Fatalf("WarpOccupancy = %.2f, want 1.0", a.WarpOccupancy)
+	}
+}
+
+func TestSharedMemoryLimiter(t *testing.T) {
+	cfg := LaunchConfig{
+		ThreadsPerBlock:    128,
+		RegistersPerThread: 32,
+		SharedMemPerBlock:  48 << 10, // 2 blocks of 48 KiB fill 96 KiB
+	}
+	a, err := Analyze(cfg, Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Limiter != LimitSharedMem {
+		t.Fatalf("limiter = %v, want shared-memory", a.Limiter)
+	}
+	if a.BlocksPerSM != 2 {
+		t.Fatalf("BlocksPerSM = %d, want 2", a.BlocksPerSM)
+	}
+}
+
+func TestBlockLimitOnTuring(t *testing.T) {
+	cfg := LaunchConfig{ThreadsPerBlock: 32, RegistersPerThread: 16}
+	a, err := Analyze(cfg, Turing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024/32 = 32 by threads, but Turing caps at 16 blocks.
+	if a.Limiter != LimitBlocks || a.BlocksPerSM != 16 {
+		t.Fatalf("got %+v, want block-limited at 16", a)
+	}
+}
+
+func TestAnalyzeRejectsBadConfigs(t *testing.T) {
+	if _, err := Analyze(LaunchConfig{ThreadsPerBlock: 0}, Volta); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := Analyze(LaunchConfig{ThreadsPerBlock: 4096}, Volta); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+func TestDeviceFootprintSaturation(t *testing.T) {
+	// A huge conv grid saturates all 80 V100 SMs: footprint 1 — a second
+	// heavy kernel must wait (Figure 2's serialization).
+	f, err := DeviceFootprint(convLaunch, Volta, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Fatalf("conv footprint = %.2f, want 1 (saturating)", f)
+	}
+	// A small elementwise grid leaves room.
+	small, err := DeviceFootprint(elementwiseLaunch, Volta, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= 0.5 {
+		t.Fatalf("small grid footprint = %.2f, want < 0.5", small)
+	}
+}
+
+func TestLimiterStrings(t *testing.T) {
+	tests := []struct {
+		l    Limiter
+		want string
+	}{
+		{LimitThreads, "threads"},
+		{LimitBlocks, "blocks"},
+		{LimitRegisters, "registers"},
+		{LimitSharedMem, "shared-memory"},
+		{Limiter(42), "limiter(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.l.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.l), got, tt.want)
+		}
+	}
+}
+
+// Property: occupancy is in (0,1], monotonically non-increasing in
+// register pressure, and the footprint never exceeds 1.
+func TestOccupancyMonotoneProperty(t *testing.T) {
+	prop := func(threadsRaw, regsRaw uint8) bool {
+		threads := (int(threadsRaw%31) + 1) * 32 // 32..992
+		regs := int(regsRaw%128) + 1
+		lo, err := Analyze(LaunchConfig{ThreadsPerBlock: threads, RegistersPerThread: regs}, Volta)
+		if err != nil {
+			return true // unlaunchable config; CUDA rejects it too
+		}
+		hi, err := Analyze(LaunchConfig{ThreadsPerBlock: threads, RegistersPerThread: regs * 2}, Volta)
+		if err != nil {
+			return true
+		}
+		if lo.WarpOccupancy <= 0 || lo.WarpOccupancy > 1 {
+			return false
+		}
+		if hi.WarpOccupancy > lo.WarpOccupancy {
+			return false
+		}
+		f, err := DeviceFootprint(LaunchConfig{
+			ThreadsPerBlock: threads, RegistersPerThread: regs, GridBlocks: int(threadsRaw) * 64,
+		}, Volta, 80)
+		return err == nil && f <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All SwitchFlow experiments run in virtual time: durations are
+// time.Duration values measured from the start of the simulation, and every
+// state change happens inside an event callback. Events scheduled for the
+// same instant fire in the order they were scheduled, which makes runs
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once fired or cancelled
+}
+
+// At reports the virtual time the event is scheduled for.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() {
+	ev.fn = nil
+}
+
+// Engine is a virtual-time event loop. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	inStep bool
+}
+
+// NewEngine returns an empty engine positioned at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far. Useful for tests and
+// for guarding against runaway simulations.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled (including cancelled
+// events that have not yet been popped).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in
+// the past is an error surfaced as a panic because it always indicates a
+// simulation bug, never a recoverable condition.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d from the current virtual time. Negative d is
+// treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step fires the next event, if any, and reports whether one fired.
+// Cancelled events are skipped transparently.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			panic("sim: corrupt event queue")
+		}
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+// Events scheduled during the run are honoured if they fall within the
+// horizon.
+func (e *Engine) RunUntil(t time.Duration) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor is RunUntil relative to the current time.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + d)
+}
+
+func (e *Engine) peek() *Event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.fn != nil {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic("sim: push of non-event")
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

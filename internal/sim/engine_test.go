@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.Run()
+	want := []time.Duration{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTiesFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestEngineAfterNegativeClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration = -1
+	e.Schedule(10, func() {
+		e.After(-5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("After(-5) fired at %v, want 10", at)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("schedule in past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", e.Fired())
+	}
+}
+
+func TestEventCancelDuringRun(t *testing.T) {
+	e := NewEngine()
+	var later *Event
+	fired := false
+	e.Schedule(1, func() { later.Cancel() })
+	later = e.Schedule(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilHonoursHorizon(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	for _, d := range []time.Duration{10, 20, 30} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(20)
+	if len(got) != 2 {
+		t.Fatalf("fired %d events, want 2", len(got))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", e.Now())
+	}
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("fired %d events after Run, want 3", len(got))
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("Now() = %v, want 500", e.Now())
+	}
+}
+
+func TestRunUntilFiresEventsScheduledWithinHorizon(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.RunUntil(100)
+	if at != 15 {
+		t.Fatalf("nested event fired at %v, want 15", at)
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	e.RunFor(50)
+	if e.Now() != 150 {
+		t.Fatalf("Now() = %v, want 150", e.Now())
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	ev.Cancel()
+	if !e.Step() {
+		t.Fatal("Step() = false with live event pending")
+	}
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+	if e.Step() {
+		t.Fatal("Step() = true on empty queue")
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+// Property: regardless of the (non-negative) delays chosen, events fire in
+// nondecreasing time order and the clock never moves backwards.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(time.Duration(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Fired() == uint64(len(delays))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil(t) fires exactly the events with timestamp <= t.
+func TestRunUntilBoundaryProperty(t *testing.T) {
+	prop := func(delays []uint16, horizon uint16) bool {
+		e := NewEngine()
+		want := 0
+		fired := 0
+		for _, d := range delays {
+			if time.Duration(d) <= time.Duration(horizon) {
+				want++
+			}
+			e.Schedule(time.Duration(d), func() { fired++ })
+		}
+		e.RunUntil(time.Duration(horizon))
+		return fired == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

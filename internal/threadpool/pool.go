@@ -1,0 +1,221 @@
+// Package threadpool models TF's executor worker pools in virtual time:
+// a fixed set of worker threads with per-worker local queues, work
+// stealing, and owner-tagged abort. SwitchFlow shares one global pool
+// among all sessions and keeps a temporary pool for preempted jobs (§3.2,
+// §3.3); the active-thread limit models its wakeup-signal mechanism.
+package threadpool
+
+import (
+	"time"
+
+	"switchflow/internal/sim"
+)
+
+// Task is one unit of worker-thread work (a CPU op, or the launch of a GPU
+// kernel).
+type Task struct {
+	// Name labels the task for debugging.
+	Name string
+	// Owner tags the task for Abort; typically an executor run.
+	Owner any
+	// Duration is how long the task occupies a worker thread.
+	Duration time.Duration
+	// Run fires when the task's duration elapses, still "on" the worker.
+	Run func()
+}
+
+// Pool is a set of virtual worker threads.
+type Pool struct {
+	// Name labels the pool ("global", "temporary").
+	Name string
+
+	eng         *sim.Engine
+	workers     []*worker
+	activeLimit int
+	busy        int
+	busyTime    time.Duration
+}
+
+type worker struct {
+	id    int
+	queue []*Task
+	busy  bool
+}
+
+// New creates a pool of n workers, all active.
+func New(eng *sim.Engine, name string, n int) *Pool {
+	p := &Pool{Name: name, eng: eng, activeLimit: n}
+	for i := 0; i < n; i++ {
+		p.workers = append(p.workers, &worker{id: i})
+	}
+	return p
+}
+
+// Size returns the number of worker threads.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// ActiveLimit returns the current wakeup-signal limit.
+func (p *Pool) ActiveLimit() int { return p.activeLimit }
+
+// SetActiveLimit changes how many workers may run concurrently. Lowering
+// it does not interrupt running tasks; raising it lets idle workers pick
+// up queued work immediately (§3.3: thread counts in the two pools are
+// balanced against the core count).
+func (p *Pool) SetActiveLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(p.workers) {
+		n = len(p.workers)
+	}
+	p.activeLimit = n
+	p.dispatch()
+}
+
+// Busy returns the number of workers currently executing a task.
+func (p *Pool) Busy() int { return p.busy }
+
+// Queued returns the number of tasks waiting in local queues.
+func (p *Pool) Queued() int {
+	total := 0
+	for _, w := range p.workers {
+		total += len(w.queue)
+	}
+	return total
+}
+
+// BusyTime returns accumulated worker-seconds of executed task time.
+func (p *Pool) BusyTime() time.Duration { return p.busyTime }
+
+// Submit enqueues t. preferred selects the worker whose local queue should
+// hold the task (the parent op's worker for inexpensive successors, §2.1);
+// pass -1 for no affinity. front pushes to the head of the local queue
+// (inexpensive ops ride immediately after their parent).
+func (p *Pool) Submit(t *Task, preferred int, front bool) {
+	if t.Duration < 0 {
+		t.Duration = 0
+	}
+	w := p.pickWorker(preferred)
+	if !w.busy && p.busy < p.activeLimit {
+		p.start(w, t)
+		return
+	}
+	// The preferred worker is busy; an idle worker steals the task right
+	// away if the active limit allows (work stealing keeps queues short).
+	if idle := p.idleWorker(); idle != nil && p.busy < p.activeLimit {
+		p.start(idle, t)
+		return
+	}
+	if front {
+		w.queue = append([]*Task{t}, w.queue...)
+	} else {
+		w.queue = append(w.queue, t)
+	}
+}
+
+// Abort removes every queued task tagged with owner and returns the count.
+// Running tasks are unaffected (a thread cannot be yanked mid-op; the
+// paper aborts queued nodes and lets running ones finish).
+func (p *Pool) Abort(owner any) int {
+	removed := 0
+	for _, w := range p.workers {
+		kept := w.queue[:0]
+		for _, t := range w.queue {
+			if t.Owner == owner {
+				removed++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		w.queue = kept
+	}
+	return removed
+}
+
+func (p *Pool) pickWorker(preferred int) *worker {
+	if preferred >= 0 && preferred < len(p.workers) {
+		return p.workers[preferred]
+	}
+	// No affinity: prefer an idle worker, else the shortest queue.
+	if w := p.idleWorker(); w != nil {
+		return w
+	}
+	best := p.workers[0]
+	for _, w := range p.workers[1:] {
+		if len(w.queue) < len(best.queue) {
+			best = w
+		}
+	}
+	return best
+}
+
+func (p *Pool) idleWorker() *worker {
+	for _, w := range p.workers {
+		if !w.busy {
+			return w
+		}
+	}
+	return nil
+}
+
+func (p *Pool) start(w *worker, t *Task) {
+	w.busy = true
+	p.busy++
+	p.busyTime += t.Duration
+	p.eng.After(t.Duration, func() {
+		if t.Run != nil {
+			t.Run()
+		}
+		w.busy = false
+		p.busy--
+		p.next(w)
+	})
+}
+
+// next lets worker w pick its next task: own queue first, then steal from
+// the longest peer queue, else go idle.
+func (p *Pool) next(w *worker) {
+	if p.busy >= p.activeLimit {
+		return
+	}
+	if len(w.queue) > 0 {
+		t := w.queue[0]
+		w.queue = w.queue[1:]
+		p.start(w, t)
+		return
+	}
+	if victim := p.longestQueue(); victim != nil {
+		t := victim.queue[len(victim.queue)-1] // steal from the tail
+		victim.queue = victim.queue[:len(victim.queue)-1]
+		p.start(w, t)
+	}
+}
+
+// dispatch pairs idle workers with queued work, used after raising the
+// active limit.
+func (p *Pool) dispatch() {
+	for p.busy < p.activeLimit {
+		w := p.idleWorker()
+		if w == nil {
+			return
+		}
+		before := p.busy
+		p.next(w)
+		if p.busy == before {
+			return // no queued work anywhere
+		}
+	}
+}
+
+func (p *Pool) longestQueue() *worker {
+	var best *worker
+	for _, w := range p.workers {
+		if len(w.queue) == 0 {
+			continue
+		}
+		if best == nil || len(w.queue) > len(best.queue) {
+			best = w
+		}
+	}
+	return best
+}

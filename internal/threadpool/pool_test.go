@@ -1,0 +1,213 @@
+package threadpool
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"switchflow/internal/sim"
+)
+
+func submitN(p *Pool, n int, d time.Duration, owner any, done *int) {
+	for i := 0; i < n; i++ {
+		p.Submit(&Task{Owner: owner, Duration: d, Run: func() { *done++ }}, -1, false)
+	}
+}
+
+func TestPoolRunsTasksInParallel(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 4)
+	done := 0
+	submitN(p, 4, 10*time.Millisecond, nil, &done)
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("completed %d tasks, want 4", done)
+	}
+	if eng.Now() != 10*time.Millisecond {
+		t.Fatalf("4 tasks on 4 workers took %v, want 10ms", eng.Now())
+	}
+}
+
+func TestPoolQueuesBeyondWorkers(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 2)
+	done := 0
+	submitN(p, 4, 10*time.Millisecond, nil, &done)
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("completed %d tasks, want 4", done)
+	}
+	if eng.Now() != 20*time.Millisecond {
+		t.Fatalf("4 tasks on 2 workers took %v, want 20ms", eng.Now())
+	}
+}
+
+func TestPoolWorkStealing(t *testing.T) {
+	// All tasks queued on worker 0; idle workers must steal them.
+	eng := sim.NewEngine()
+	p := New(eng, "global", 4)
+	done := 0
+	// First task starts on worker 0; the rest pile onto its queue only if
+	// no one is idle — but workers 1-3 are idle, so they run immediately.
+	for i := 0; i < 4; i++ {
+		p.Submit(&Task{Duration: 10 * time.Millisecond, Run: func() { done++ }}, 0, false)
+	}
+	eng.Run()
+	if eng.Now() != 10*time.Millisecond {
+		t.Fatalf("stealable tasks took %v, want 10ms (ran in parallel)", eng.Now())
+	}
+	if done != 4 {
+		t.Fatalf("completed %d, want 4", done)
+	}
+}
+
+func TestPoolAffinityQueueWhenSaturated(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 1)
+	var order []string
+	p.Submit(&Task{Name: "first", Duration: time.Millisecond,
+		Run: func() { order = append(order, "first") }}, 0, false)
+	p.Submit(&Task{Name: "back", Duration: time.Millisecond,
+		Run: func() { order = append(order, "back") }}, 0, false)
+	p.Submit(&Task{Name: "front", Duration: time.Millisecond,
+		Run: func() { order = append(order, "front") }}, 0, true)
+	eng.Run()
+	want := []string{"first", "front", "back"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPoolAbortRemovesQueuedOnly(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 1)
+	type jobKey struct{ name string }
+	victim := &jobKey{"victim"}
+	other := &jobKey{"other"}
+	var ran []string
+	p.Submit(&Task{Owner: victim, Duration: 10 * time.Millisecond,
+		Run: func() { ran = append(ran, "running") }}, 0, false)
+	p.Submit(&Task{Owner: victim, Duration: time.Millisecond,
+		Run: func() { ran = append(ran, "queued-victim") }}, 0, false)
+	p.Submit(&Task{Owner: other, Duration: time.Millisecond,
+		Run: func() { ran = append(ran, "queued-other") }}, 0, false)
+	eng.Schedule(time.Millisecond, func() {
+		if got := p.Abort(victim); got != 1 {
+			t.Errorf("Abort removed %d, want 1", got)
+		}
+	})
+	eng.Run()
+	if len(ran) != 2 || ran[0] != "running" || ran[1] != "queued-other" {
+		t.Fatalf("ran %v, want [running queued-other]", ran)
+	}
+}
+
+func TestPoolActiveLimitThrottles(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 4)
+	p.SetActiveLimit(1)
+	done := 0
+	submitN(p, 4, 10*time.Millisecond, nil, &done)
+	eng.Run()
+	if eng.Now() != 40*time.Millisecond {
+		t.Fatalf("limit-1 pool took %v, want 40ms", eng.Now())
+	}
+	if done != 4 {
+		t.Fatalf("completed %d, want 4", done)
+	}
+}
+
+func TestPoolRaisingLimitDispatchesQueued(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 4)
+	p.SetActiveLimit(1)
+	done := 0
+	submitN(p, 4, 10*time.Millisecond, nil, &done)
+	eng.Schedule(5*time.Millisecond, func() { p.SetActiveLimit(4) })
+	eng.Run()
+	// First task runs 0-10ms; the other three start at 5ms.
+	if eng.Now() != 15*time.Millisecond {
+		t.Fatalf("after raising limit run took %v, want 15ms", eng.Now())
+	}
+}
+
+func TestPoolCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 2)
+	done := 0
+	submitN(p, 3, 10*time.Millisecond, nil, &done)
+	if p.Busy() != 2 {
+		t.Fatalf("Busy() = %d, want 2", p.Busy())
+	}
+	if p.Queued() != 1 {
+		t.Fatalf("Queued() = %d, want 1", p.Queued())
+	}
+	eng.Run()
+	if p.Busy() != 0 || p.Queued() != 0 {
+		t.Fatalf("after drain Busy=%d Queued=%d", p.Busy(), p.Queued())
+	}
+	if p.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("BusyTime() = %v, want 30ms", p.BusyTime())
+	}
+}
+
+func TestPoolZeroDurationTask(t *testing.T) {
+	eng := sim.NewEngine()
+	p := New(eng, "global", 1)
+	done := false
+	p.Submit(&Task{Duration: 0, Run: func() { done = true }}, -1, false)
+	eng.Run()
+	if !done {
+		t.Fatal("zero-duration task never ran")
+	}
+}
+
+// Property: every submitted task runs exactly once, for any worker count,
+// task count, and duration mix.
+func TestPoolCompletionProperty(t *testing.T) {
+	prop := func(workerCount uint8, durs []uint8) bool {
+		n := int(workerCount%8) + 1
+		eng := sim.NewEngine()
+		p := New(eng, "global", n)
+		count := 0
+		for _, d := range durs {
+			p.Submit(&Task{
+				Duration: time.Duration(d) * 100 * time.Microsecond,
+				Run:      func() { count++ },
+			}, int(d)%n, d%2 == 0)
+		}
+		eng.Run()
+		return count == len(durs) && p.Busy() == 0 && p.Queued() == 0
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with W workers and identical task durations d, makespan is
+// ceil(n/W) * d — the pool never idles a worker while work is queued.
+func TestPoolMakespanProperty(t *testing.T) {
+	prop := func(workerCount, taskCount uint8) bool {
+		w := int(workerCount%6) + 1
+		n := int(taskCount % 40)
+		eng := sim.NewEngine()
+		p := New(eng, "global", w)
+		d := time.Millisecond
+		for i := 0; i < n; i++ {
+			p.Submit(&Task{Duration: d}, i%w, false)
+		}
+		eng.Run()
+		if n == 0 {
+			return eng.Now() == 0
+		}
+		waves := (n + w - 1) / w
+		return eng.Now() == time.Duration(waves)*d
+	}
+	cfg := &quick.Config{MaxCount: 80}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

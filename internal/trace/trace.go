@@ -1,0 +1,152 @@
+// Package trace records per-kernel GPU timelines, the data behind the
+// paper's Figure 2 (two ResNet50s interleaving on one V100).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"switchflow/internal/device"
+)
+
+// Timeline accumulates kernel spans from one or more GPUs.
+type Timeline struct {
+	spans []device.Span
+}
+
+// Attach subscribes the timeline to gpu's kernel completions. Any previous
+// subscriber on that GPU is replaced.
+func (t *Timeline) Attach(gpu *device.GPU) {
+	gpu.SpanFunc = func(s device.Span) { t.spans = append(t.spans, s) }
+}
+
+// Add records a span directly.
+func (t *Timeline) Add(s device.Span) { t.spans = append(t.spans, s) }
+
+// Spans returns the recorded spans ordered by start time.
+func (t *Timeline) Spans() []device.Span {
+	out := make([]device.Span, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Ctx < out[j].Ctx
+	})
+	return out
+}
+
+// Contexts returns the distinct kernel contexts observed, sorted.
+func (t *Timeline) Contexts() []int {
+	seen := make(map[int]bool)
+	for _, s := range t.spans {
+		seen[s.Ctx] = true
+	}
+	ctxs := make([]int, 0, len(seen))
+	for ctx := range seen {
+		ctxs = append(ctxs, ctx)
+	}
+	sort.Ints(ctxs)
+	return ctxs
+}
+
+// BusyTime returns the total kernel time attributed to ctx.
+func (t *Timeline) BusyTime(ctx int) time.Duration {
+	var total time.Duration
+	for _, s := range t.spans {
+		if s.Ctx == ctx {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// OverlapTime returns how long kernels from two different contexts were
+// simultaneously in flight — Figure 2's measure of (in)effective spatial
+// sharing.
+func (t *Timeline) OverlapTime(ctxA, ctxB int) time.Duration {
+	var overlap time.Duration
+	spans := t.Spans()
+	for i, a := range spans {
+		if a.Ctx != ctxA {
+			continue
+		}
+		for _, b := range spans[i+1:] {
+			if b.Ctx != ctxB {
+				continue
+			}
+			if b.Start >= a.End {
+				break
+			}
+			lo, hi := b.Start, a.End
+			if a.Start > lo {
+				lo = a.Start
+			}
+			if b.End < hi {
+				hi = b.End
+			}
+			if hi > lo {
+				overlap += hi - lo
+			}
+		}
+	}
+	return overlap
+}
+
+// WriteJSON emits the spans as a JSON array.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	type jsonSpan struct {
+		Name    string `json:"name"`
+		Ctx     int    `json:"ctx"`
+		StartUS int64  `json:"startMicros"`
+		EndUS   int64  `json:"endMicros"`
+	}
+	spans := t.Spans()
+	out := make([]jsonSpan, len(spans))
+	for i, s := range spans {
+		out[i] = jsonSpan{
+			Name:    s.Name,
+			Ctx:     s.Ctx,
+			StartUS: s.Start.Microseconds(),
+			EndUS:   s.End.Microseconds(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// RenderASCII draws a Figure 2 style timeline: one row per context, one
+// column per bucket, '#' where the context had a kernel in flight.
+func (t *Timeline) RenderASCII(w io.Writer, bucket time.Duration, width int) error {
+	if bucket <= 0 || width <= 0 {
+		return fmt.Errorf("trace: bucket and width must be positive")
+	}
+	ctxs := t.Contexts()
+	spans := t.Spans()
+	for _, ctx := range ctxs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range spans {
+			if s.Ctx != ctx {
+				continue
+			}
+			lo := int(s.Start / bucket)
+			hi := int((s.End + bucket - 1) / bucket)
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "ctx %2d |%s|\n", ctx, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "        %s (1 col = %v)\n", strings.Repeat("-", width), bucket)
+	return err
+}

@@ -1,0 +1,461 @@
+// Package workload provides the job runtime shared by the SwitchFlow
+// scheduler and the baselines: a DL job owns replicated graph versions
+// (one per device it may run on, §3.2), per-GPU compute streams, weight
+// and intermediate memory accounting, an input prefetch pipeline, and
+// serving-request bookkeeping.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/executor"
+	"switchflow/internal/graph"
+	"switchflow/internal/metrics"
+	"switchflow/internal/models"
+	"switchflow/internal/sim"
+	"switchflow/internal/threadpool"
+)
+
+// Kind distinguishes training from serving jobs.
+type Kind int
+
+// Job kinds.
+const (
+	// KindTraining runs iterations continuously, throughput oriented.
+	KindTraining Kind = iota + 1
+	// KindServing processes an open-loop stream of inference requests,
+	// latency oriented.
+	KindServing
+)
+
+// Config describes one DL job.
+type Config struct {
+	// Name labels the job.
+	Name string
+	// Model is the network to run.
+	Model *models.Spec
+	// Batch is the mini-batch size.
+	Batch int
+	// Kind selects training or serving.
+	Kind Kind
+	// Priority orders jobs for preemption; higher preempts lower.
+	Priority int
+	// Device is the preferred compute device.
+	Device device.ID
+	// Fallbacks lists migration targets in preference order (§3.3); empty
+	// means the job waits on its device when preempted.
+	Fallbacks []device.ID
+	// PreprocShards and PerImageCPU configure the input stage (zero picks
+	// model defaults).
+	PreprocShards int
+	PerImageCPU   time.Duration
+	// ArrivalEvery is the serving request period (open loop).
+	ArrivalEvery time.Duration
+	// PoissonArrivals draws exponential inter-arrival times with mean
+	// ArrivalEvery — §3.1: "online inference queries often arrive
+	// unpredictably and stochastically". Deterministic per ArrivalSeed.
+	PoissonArrivals bool
+	// ArrivalSeed seeds the arrival process (0 uses the job context id).
+	ArrivalSeed int64
+	// ClosedLoop makes a serving job submit the next request the moment
+	// the previous one completes — the paper's "continuous stream" of
+	// inference requests (§5.2.1). The first request arrives immediately.
+	ClosedLoop bool
+	// Saturated makes a serving job iterate continuously with an
+	// unbounded backlog and no latency accounting — used to measure
+	// inference throughput (Figures 8-10).
+	Saturated bool
+	// PrefetchDepth is the input pipeline depth (default 2, the tf.data
+	// prefetch the paper's Figure 3 setup uses).
+	PrefetchDepth int
+	// Eager runs the model in dynamic-graph (eager) mode: every op pays a
+	// framework dispatch overhead and no graph-level optimization applies
+	// (§1's static-vs-dynamic contrast).
+	Eager bool
+	// Fuse applies static-graph elementwise fusion (mutually exclusive
+	// with Eager).
+	Fuse bool
+}
+
+// Version is one device placement of the job's graph: the replicated
+// executors SwitchFlow keeps per device (§3.2).
+type Version struct {
+	// Graph is the full graph built for this placement.
+	Graph *graph.Graph
+	// Input is the CPU input stage; nil for all-CPU placements, where
+	// Compute covers everything.
+	Input *graph.Subgraph
+	// Compute is the model's compute subgraph on the target device.
+	Compute *graph.Subgraph
+}
+
+// Job is the runtime state of one DL job. Schedulers drive it; the fields
+// here are the scheduler-independent parts.
+type Job struct {
+	// Cfg is the job's configuration.
+	Cfg Config
+	// Ctx tags this job's kernels in traces.
+	Ctx int
+
+	// Iterations counts completed session runs (training steps or served
+	// requests).
+	Iterations int
+	// Latencies records per-request latency for serving jobs.
+	Latencies metrics.Latency
+	// CrashErr is set when the job dies (e.g. OOM under threaded TF).
+	CrashErr error
+
+	// InputsInFlight counts concurrently running input-stage activations
+	// (tf.data overlaps the preprocessing of several batches); together
+	// with ready inputs it is bounded by PrefetchDepth.
+	InputsInFlight int
+	// ComputeRunning flags an in-flight compute stage.
+	ComputeRunning bool
+
+	eng      *sim.Engine
+	machine  *device.Machine
+	versions map[device.ID]*Version
+	streams  map[device.ID]*device.Stream
+	dataPool *threadpool.Pool
+
+	pendingArrivals []time.Duration // serving: request arrival times
+	inFlight        []time.Duration // arrivals whose input stage started
+	inputReady      int
+	arrivalEvent    *sim.Event
+	onArrival       func()              // closed-loop re-arm hook
+	weightHome      map[device.ID]int64 // allocated weight bytes
+	intermediate    map[device.ID]int64
+}
+
+// NewJob builds a job and its graph versions for the preferred device and
+// every fallback.
+func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("workload: job %q has no model", cfg.Name)
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("workload: job %q batch must be positive", cfg.Name)
+	}
+	if cfg.PrefetchDepth == 0 {
+		cfg.PrefetchDepth = 2
+	}
+	// Each job owns its tf.data worker pool, as TF datasets do; the
+	// paper's setups use 32 parallel data workers, capped by core count.
+	dataWorkers := 32
+	if dataWorkers > machine.CPU.Cores {
+		dataWorkers = machine.CPU.Cores
+	}
+	j := &Job{
+		Cfg:          cfg,
+		Ctx:          ctx,
+		eng:          eng,
+		machine:      machine,
+		versions:     make(map[device.ID]*Version),
+		streams:      make(map[device.ID]*device.Stream),
+		dataPool:     threadpool.New(eng, "data:"+cfg.Name, dataWorkers),
+		weightHome:   make(map[device.ID]int64),
+		intermediate: make(map[device.ID]int64),
+	}
+	devices := append([]device.ID{cfg.Device}, cfg.Fallbacks...)
+	for _, dev := range devices {
+		if _, ok := j.versions[dev]; ok {
+			continue
+		}
+		v, err := j.buildVersion(dev)
+		if err != nil {
+			return nil, err
+		}
+		j.versions[dev] = v
+	}
+	return j, nil
+}
+
+func (j *Job) buildVersion(dev device.ID) (*Version, error) {
+	g, err := j.Cfg.Model.Build(models.BuildConfig{
+		Batch:         j.Cfg.Batch,
+		Training:      j.Cfg.Kind == KindTraining,
+		Device:        dev,
+		PreprocShards: j.Cfg.PreprocShards,
+		PerImageCPU:   j.Cfg.PerImageCPU,
+		Fuse:          j.Cfg.Fuse && !j.Cfg.Eager,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: job %q: %w", j.Cfg.Name, err)
+	}
+	subs, err := graph.Partition(g)
+	if err != nil {
+		return nil, fmt.Errorf("workload: job %q: %w", j.Cfg.Name, err)
+	}
+	v := &Version{Graph: g}
+	switch len(subs) {
+	case 1:
+		v.Compute = subs[0]
+	case 2:
+		v.Input, v.Compute = subs[0], subs[1]
+	default:
+		return nil, fmt.Errorf("workload: job %q: unexpected %d subgraphs", j.Cfg.Name, len(subs))
+	}
+	return v, nil
+}
+
+// Version returns the graph version for dev, building it on demand (a
+// migration target not declared in Fallbacks).
+func (j *Job) Version(dev device.ID) (*Version, error) {
+	if v, ok := j.versions[dev]; ok {
+		return v, nil
+	}
+	v, err := j.buildVersion(dev)
+	if err != nil {
+		return nil, err
+	}
+	j.versions[dev] = v
+	return v, nil
+}
+
+// Stream returns the job's compute stream on dev, creating it on first
+// use. CPU placements have no stream and return nil.
+func (j *Job) Stream(dev device.ID) *device.Stream {
+	if dev.Kind != device.KindGPU {
+		return nil
+	}
+	s, ok := j.streams[dev]
+	if !ok {
+		s = device.NewStream(j.machine.GPU(dev.Index))
+		j.streams[dev] = s
+	}
+	return s
+}
+
+// Training reports whether the job trains.
+func (j *Job) Training() bool { return j.Cfg.Kind == KindTraining }
+
+// WeightBytes is the persistent state the job keeps on its device:
+// weights plus optimizer slots when training, weights alone when serving.
+func (j *Job) WeightBytes() int64 {
+	if j.Training() {
+		return j.Cfg.Model.StatefulBytes()
+	}
+	return j.Cfg.Model.ParamBytes()
+}
+
+// IntermediateBytes is the per-iteration scratch footprint.
+func (j *Job) IntermediateBytes() int64 {
+	return j.Cfg.Model.IntermediateBytes(j.Cfg.Batch, j.Training())
+}
+
+// AllocWeights reserves the job's persistent state on dev. Host memory is
+// not modelled (the paper's servers have >250 GB).
+func (j *Job) AllocWeights(dev device.ID) error {
+	if dev.Kind != device.KindGPU {
+		j.weightHome[dev] += j.WeightBytes()
+		return nil
+	}
+	if err := j.machine.GPU(dev.Index).Mem.Alloc(j.WeightBytes()); err != nil {
+		return err
+	}
+	j.weightHome[dev] += j.WeightBytes()
+	return nil
+}
+
+// FreeWeights releases previously allocated persistent state on dev.
+func (j *Job) FreeWeights(dev device.ID) {
+	n := j.weightHome[dev]
+	if n == 0 {
+		return
+	}
+	delete(j.weightHome, dev)
+	if dev.Kind == device.KindGPU {
+		j.machine.GPU(dev.Index).Mem.Free(n)
+	}
+}
+
+// WeightsOn reports whether persistent state is resident on dev.
+func (j *Job) WeightsOn(dev device.ID) bool { return j.weightHome[dev] > 0 }
+
+// AllocIntermediate reserves the iteration scratch on dev.
+func (j *Job) AllocIntermediate(dev device.ID) error {
+	if dev.Kind != device.KindGPU {
+		return nil
+	}
+	n := j.IntermediateBytes()
+	if err := j.machine.GPU(dev.Index).Mem.Alloc(n); err != nil {
+		return err
+	}
+	j.intermediate[dev] += n
+	return nil
+}
+
+// FreeIntermediate releases the iteration scratch on dev.
+func (j *Job) FreeIntermediate(dev device.ID) {
+	n := j.intermediate[dev]
+	if n == 0 {
+		return
+	}
+	delete(j.intermediate, dev)
+	if dev.Kind == device.KindGPU {
+		j.machine.GPU(dev.Index).Mem.Free(n)
+	}
+}
+
+// StartArrivals begins the serving job's request stream. onNew fires after
+// each arrival is enqueued (schedulers pump their pipeline there). In open
+// loop the first request arrives after one period; in closed loop it
+// arrives immediately and each completion triggers the next.
+func (j *Job) StartArrivals(onNew func()) {
+	if j.Cfg.Kind != KindServing {
+		return
+	}
+	if j.Cfg.ClosedLoop {
+		j.onArrival = onNew
+		j.eng.After(0, func() {
+			j.pendingArrivals = append(j.pendingArrivals, j.eng.Now())
+			onNew()
+		})
+		return
+	}
+	if j.Cfg.ArrivalEvery <= 0 {
+		return
+	}
+	interval := func() time.Duration { return j.Cfg.ArrivalEvery }
+	if j.Cfg.PoissonArrivals {
+		seed := j.Cfg.ArrivalSeed
+		if seed == 0 {
+			seed = int64(j.Ctx)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		interval = func() time.Duration {
+			return time.Duration(rng.ExpFloat64() * float64(j.Cfg.ArrivalEvery))
+		}
+	}
+	var tick func()
+	tick = func() {
+		j.pendingArrivals = append(j.pendingArrivals, j.eng.Now())
+		j.arrivalEvent = j.eng.After(interval(), tick)
+		onNew()
+	}
+	j.arrivalEvent = j.eng.After(interval(), tick)
+}
+
+// StopArrivals halts the request stream.
+func (j *Job) StopArrivals() {
+	if j.arrivalEvent != nil {
+		j.arrivalEvent.Cancel()
+		j.arrivalEvent = nil
+	}
+	j.onArrival = nil
+}
+
+// PendingRequests returns enqueued-but-unstarted request count.
+func (j *Job) PendingRequests() int { return len(j.pendingArrivals) }
+
+// HasWork reports whether an iteration could start: training and
+// saturated serving always have work; open/closed-loop serving needs a
+// pending request or a prefetched input.
+func (j *Job) HasWork() bool {
+	if j.Training() || j.Cfg.Saturated {
+		return true
+	}
+	return len(j.pendingArrivals) > 0 || j.inputReady > 0 || len(j.inFlight) > 0
+}
+
+// CanStartInput reports whether another input-stage run may begin: a
+// prefetch slot is free (counting runs already in flight) and (for
+// serving) a request is waiting.
+func (j *Job) CanStartInput() bool {
+	if j.inputReady+j.InputsInFlight >= j.Cfg.PrefetchDepth {
+		return false
+	}
+	if !j.Training() && !j.Cfg.Saturated && len(j.pendingArrivals) == 0 {
+		return false
+	}
+	return true
+}
+
+// BeginInput transitions a request (or training batch) into the input
+// stage. Callers must have checked CanStartInput.
+func (j *Job) BeginInput() {
+	j.InputsInFlight++
+	if !j.Training() && !j.Cfg.Saturated && len(j.pendingArrivals) > 0 {
+		j.inFlight = append(j.inFlight, j.pendingArrivals[0])
+		j.pendingArrivals = j.pendingArrivals[1:]
+	}
+}
+
+// FinishInput marks one in-flight input as prefetched and ready.
+func (j *Job) FinishInput() {
+	if j.InputsInFlight <= 0 {
+		panic("workload: FinishInput without BeginInput")
+	}
+	j.InputsInFlight--
+	j.inputReady++
+}
+
+// InputAvailable reports whether a prefetched input is waiting.
+func (j *Job) InputAvailable() bool { return j.inputReady > 0 }
+
+// BeginCompute consumes one ready input.
+func (j *Job) BeginCompute() {
+	if j.inputReady <= 0 {
+		panic("workload: BeginCompute without ready input")
+	}
+	j.inputReady--
+	j.ComputeRunning = true
+}
+
+// FinishCompute completes an iteration, recording serving latency and
+// re-arming the closed loop.
+func (j *Job) FinishCompute() {
+	j.ComputeRunning = false
+	j.Iterations++
+	if j.Training() || j.Cfg.Saturated {
+		return
+	}
+	if len(j.inFlight) > 0 {
+		arrived := j.inFlight[0]
+		j.inFlight = j.inFlight[1:]
+		j.Latencies.Add(j.eng.Now() - arrived)
+	}
+	if j.Cfg.ClosedLoop && j.onArrival != nil {
+		j.pendingArrivals = append(j.pendingArrivals, j.eng.Now())
+		onArrival := j.onArrival
+		j.eng.After(0, onArrival)
+	}
+}
+
+// AbandonCompute returns the consumed input to the ready pool after a
+// preemption aborts the compute stage; the new session run is repopulated
+// with the same tasks so no work is lost (§3.3).
+func (j *Job) AbandonCompute() {
+	j.ComputeRunning = false
+	j.inputReady++
+}
+
+// DataPool returns the job's private tf.data worker pool.
+func (j *Job) DataPool() *threadpool.Pool { return j.dataPool }
+
+// StartExec launches the given subgraph through an executor. The job's
+// private data pool handles preprocessing unless the caller overrides it.
+func (j *Job) StartExec(sub *graph.Subgraph, cfg executor.Config, onDone func()) (*executor.Run, error) {
+	cfg.Ctx = j.Ctx
+	cfg.Machine = j.machine
+	cfg.CPUClass = j.machine.CPU
+	if cfg.DataPool == nil {
+		cfg.DataPool = j.dataPool
+	}
+	cfg.Eager = j.Cfg.Eager
+	return executor.Start(j.eng, sub, cfg, onDone)
+}
+
+// Crash marks the job dead.
+func (j *Job) Crash(err error) {
+	if j.CrashErr == nil {
+		j.CrashErr = err
+	}
+	j.StopArrivals()
+}
+
+// Crashed reports whether the job died.
+func (j *Job) Crashed() bool { return j.CrashErr != nil }

@@ -1,0 +1,192 @@
+package switchflow
+
+import (
+	"time"
+
+	"switchflow/internal/baseline"
+	"switchflow/internal/core"
+	"switchflow/internal/workload"
+)
+
+// Scheduler is the common surface of SwitchFlow and the baselines.
+type Scheduler interface {
+	// AddJob admits a job described by spec.
+	AddJob(spec JobSpec) (*Job, error)
+	// StopJob halts a job's loop.
+	StopJob(*Job)
+	// Name identifies the scheduling policy.
+	Name() string
+}
+
+// SchedulerOptions tune the SwitchFlow manager; the zero value is the
+// paper's design. The Disable* fields reproduce the ablations in
+// DESIGN.md.
+type SchedulerOptions struct {
+	TempPoolThreads          int
+	DisableGPUExclusive      bool
+	DisableFreeCPUExecutors  bool
+	SyncStateTransfer        bool
+	DisableTempPoolIsolation bool
+}
+
+// SwitchFlow creates the paper's scheduler on this simulation.
+func (s *Simulation) SwitchFlow(opts ...SchedulerOptions) *SwitchFlowScheduler {
+	var o SchedulerOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	m := core.NewManager(s.eng, s.machine, core.Options{
+		TempPoolThreads:          o.TempPoolThreads,
+		DisableGPUExclusive:      o.DisableGPUExclusive,
+		DisableFreeCPUExecutors:  o.DisableFreeCPUExecutors,
+		SyncStateTransfer:        o.SyncStateTransfer,
+		DisableTempPoolIsolation: o.DisableTempPoolIsolation,
+	})
+	return &SwitchFlowScheduler{m: m}
+}
+
+// SwitchFlowScheduler is the preemptive multitasking scheduler (§3).
+type SwitchFlowScheduler struct {
+	m *core.Manager
+}
+
+var _ Scheduler = (*SwitchFlowScheduler)(nil)
+
+// Name implements Scheduler.
+func (s *SwitchFlowScheduler) Name() string { return "switchflow" }
+
+// AddJob implements Scheduler. Admission fails when the job's persistent
+// state does not fit next to already-admitted jobs (§3.4's OOM-freedom).
+func (s *SwitchFlowScheduler) AddJob(spec JobSpec) (*Job, error) {
+	cfg, err := spec.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := s.m.AddJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{inner: inner}, nil
+}
+
+// StopJob implements Scheduler.
+func (s *SwitchFlowScheduler) StopJob(j *Job) { s.m.StopJob(j.inner) }
+
+// AddSharedGroup admits correlated jobs sharing one input pipeline
+// (multi-task learning, §3.4/Listing 1). Members run in lockstep
+// round-robin over each preprocessed batch.
+func (s *SwitchFlowScheduler) AddSharedGroup(specs []JobSpec) (*SharedGroup, error) {
+	cfgs := make([]workload.Config, len(specs))
+	for i, spec := range specs {
+		cfg, err := spec.toConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
+	}
+	group, inners, err := s.m.AddSharedGroup(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]*Job, len(inners))
+	for i, inner := range inners {
+		jobs[i] = &Job{inner: inner}
+	}
+	return &SharedGroup{group: group, jobs: jobs}, nil
+}
+
+// Preemptions returns the number of preemption events so far.
+func (s *SwitchFlowScheduler) Preemptions() int { return s.m.Preemptions }
+
+// Migrations returns the number of device migrations so far.
+func (s *SwitchFlowScheduler) Migrations() int { return s.m.Migrations }
+
+// PreemptionP95 returns the 95th-percentile GPU-grant latency (§5.2.3).
+func (s *SwitchFlowScheduler) PreemptionP95() time.Duration {
+	return s.m.PreemptionLatencies.Percentile(95)
+}
+
+// JobDeviceName reports the device a job currently runs on ("gpu:1",
+// "cpu:0"), reflecting migrations.
+func (s *SwitchFlowScheduler) JobDeviceName(j *Job) string {
+	return s.m.JobDevice(j.inner).String()
+}
+
+// SharedGroup is a set of jobs sharing the data preprocessing stage.
+type SharedGroup struct {
+	group *core.Group
+	jobs  []*Job
+}
+
+// Jobs returns the member handles.
+func (g *SharedGroup) Jobs() []*Job { return g.jobs }
+
+// Stop halts the group.
+func (g *SharedGroup) Stop() { g.group.Stop() }
+
+// ThreadedTF creates the multi-threaded TensorFlow baseline: free GPU
+// sharing through per-job streams, OOM crashes possible.
+func (s *Simulation) ThreadedTF() Scheduler {
+	return &baselineScheduler{
+		name: "threaded-tf",
+		add:  adaptThreaded(baseline.NewThreadedTF(s.eng, s.machine)),
+	}
+}
+
+// TimeSlice creates the Gandiva-style session time-slicing baseline.
+func (s *Simulation) TimeSlice() Scheduler {
+	return &baselineScheduler{
+		name: "timeslice",
+		add:  adaptTimeSlice(baseline.NewTimeSlice(s.eng, s.machine)),
+	}
+}
+
+// MPS creates the NVIDIA MPS baseline: spatial sharing with per-process
+// memory reservations.
+func (s *Simulation) MPS() Scheduler {
+	return &baselineScheduler{
+		name: "mps",
+		add:  adaptMPS(baseline.NewMPS(s.eng, s.machine)),
+	}
+}
+
+// baselineScheduler adapts the three baselines to the Scheduler interface.
+type baselineScheduler struct {
+	name string
+	add  baselineOps
+}
+
+type baselineOps struct {
+	addJob  func(workload.Config) (*workload.Job, error)
+	stopJob func(*workload.Job)
+}
+
+var _ Scheduler = (*baselineScheduler)(nil)
+
+func (b *baselineScheduler) Name() string { return b.name }
+
+func (b *baselineScheduler) AddJob(spec JobSpec) (*Job, error) {
+	cfg, err := spec.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := b.add.addJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{inner: inner}, nil
+}
+
+func (b *baselineScheduler) StopJob(j *Job) { b.add.stopJob(j.inner) }
+
+func adaptThreaded(s *baseline.ThreadedTF) baselineOps {
+	return baselineOps{addJob: s.AddJob, stopJob: s.StopJob}
+}
+
+func adaptTimeSlice(s *baseline.TimeSlice) baselineOps {
+	return baselineOps{addJob: s.AddJob, stopJob: s.StopJob}
+}
+
+func adaptMPS(s *baseline.MPS) baselineOps {
+	return baselineOps{addJob: s.AddJob, stopJob: s.StopJob}
+}

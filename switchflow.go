@@ -1,0 +1,223 @@
+package switchflow
+
+import (
+	"fmt"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/models"
+	"switchflow/internal/sim"
+	"switchflow/internal/workload"
+)
+
+// MachineSpec selects one of the paper's testbeds or a custom layout.
+type MachineSpec struct {
+	build func(eng *sim.Engine) *device.Machine
+	name  string
+}
+
+// Name returns a human-readable machine description.
+func (m MachineSpec) Name() string { return m.name }
+
+// V100Server is the 4x Tesla V100 server of §5.1.
+func V100Server() MachineSpec {
+	return MachineSpec{build: device.NewV100Server, name: "4x Tesla V100"}
+}
+
+// TwoGPUServer is the GTX 1080 Ti (gpu:0) + RTX 2080 Ti (gpu:1) server.
+func TwoGPUServer() MachineSpec {
+	return MachineSpec{build: device.NewTwoGPUServer, name: "GTX 1080 Ti + RTX 2080 Ti"}
+}
+
+// JetsonTX2 is the embedded board.
+func JetsonTX2() MachineSpec {
+	return MachineSpec{build: device.NewJetsonTX2, name: "Jetson TX2"}
+}
+
+// SingleGPU builds a one-GPU Xeon server of the named GPU model:
+// "V100", "RTX 2080 Ti", "GTX 1080 Ti", or "Jetson TX2".
+func SingleGPU(gpu string) (MachineSpec, error) {
+	var class device.GPUClass
+	cpu := device.ClassXeonDual
+	switch gpu {
+	case "V100":
+		class = device.ClassV100
+	case "RTX 2080 Ti":
+		class = device.ClassRTX2080Ti
+	case "GTX 1080 Ti":
+		class = device.ClassGTX1080Ti
+	case "Jetson TX2":
+		class = device.ClassJetsonTX2
+		cpu = device.ClassCortexA57
+	default:
+		return MachineSpec{}, fmt.Errorf("switchflow: unknown GPU %q", gpu)
+	}
+	return MachineSpec{
+		build: func(eng *sim.Engine) *device.Machine {
+			return device.NewMachine(eng, cpu, class)
+		},
+		name: gpu,
+	}, nil
+}
+
+// Simulation owns the virtual clock and one machine. All schedulers and
+// jobs created from it share both.
+type Simulation struct {
+	eng     *sim.Engine
+	machine *device.Machine
+	spec    MachineSpec
+}
+
+// NewSimulation creates a simulation over the given machine.
+func NewSimulation(spec MachineSpec) *Simulation {
+	eng := sim.NewEngine()
+	return &Simulation{eng: eng, machine: spec.build(eng), spec: spec}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.eng.Now() }
+
+// RunFor advances virtual time by d, executing everything scheduled.
+func (s *Simulation) RunFor(d time.Duration) { s.eng.RunFor(d) }
+
+// RunUntil advances virtual time to t.
+func (s *Simulation) RunUntil(t time.Duration) { s.eng.RunUntil(t) }
+
+// RunWhile advances time until cond returns false or the horizon passes.
+func (s *Simulation) RunWhile(horizon time.Duration, cond func() bool) {
+	for s.eng.Now() < horizon && cond() {
+		if !s.eng.Step() {
+			return
+		}
+	}
+}
+
+// GPUCount returns the number of GPUs on the machine.
+func (s *Simulation) GPUCount() int { return len(s.machine.GPUs) }
+
+// GPUBusy returns the accumulated kernel-busy time of GPU i.
+func (s *Simulation) GPUBusy(i int) time.Duration {
+	gpu := s.machine.GPU(i)
+	if gpu == nil {
+		return 0
+	}
+	return gpu.BusyTime()
+}
+
+// GPUMemoryUsed returns the bytes currently allocated on GPU i.
+func (s *Simulation) GPUMemoryUsed(i int) int64 {
+	gpu := s.machine.GPU(i)
+	if gpu == nil {
+		return 0
+	}
+	return gpu.Mem.Used()
+}
+
+// Models lists the zoo's model names.
+func Models() []string { return models.Names() }
+
+// JobSpec describes a DL job for any scheduler.
+type JobSpec struct {
+	// Name labels the job.
+	Name string
+	// Model is a zoo model name (see Models).
+	Model string
+	// Batch is the mini-batch size.
+	Batch int
+	// Train selects a training job; otherwise the job serves inference.
+	Train bool
+	// Priority orders jobs for SwitchFlow preemption (higher wins).
+	Priority int
+	// GPU is the preferred GPU index.
+	GPU int
+	// FallbackGPUs are migration targets in preference order.
+	FallbackGPUs []int
+	// FallbackCPU appends the CPU as the last migration target.
+	FallbackCPU bool
+	// ServeEvery sets an open-loop inference arrival period.
+	ServeEvery time.Duration
+	// ClosedLoop makes the inference stream continuous (next request on
+	// completion).
+	ClosedLoop bool
+	// Saturated makes the inference job iterate with unbounded backlog
+	// (throughput measurement).
+	Saturated bool
+	// PoissonArrivals draws exponential inter-arrival times with mean
+	// ServeEvery (seeded by ArrivalSeed).
+	PoissonArrivals bool
+	// ArrivalSeed seeds the stochastic arrival process.
+	ArrivalSeed int64
+	// Eager runs the model in dynamic-graph mode (per-op dispatch, no
+	// graph optimization).
+	Eager bool
+	// Fuse applies static-graph elementwise fusion.
+	Fuse bool
+}
+
+func (spec JobSpec) toConfig() (workload.Config, error) {
+	model, err := models.ByName(spec.Model)
+	if err != nil {
+		return workload.Config{}, err
+	}
+	kind := workload.KindServing
+	if spec.Train {
+		kind = workload.KindTraining
+	}
+	var fallbacks []device.ID
+	for _, idx := range spec.FallbackGPUs {
+		fallbacks = append(fallbacks, device.GPUID(idx))
+	}
+	if spec.FallbackCPU {
+		fallbacks = append(fallbacks, device.CPUID)
+	}
+	return workload.Config{
+		Name:            spec.Name,
+		Model:           model,
+		Batch:           spec.Batch,
+		Kind:            kind,
+		Priority:        spec.Priority,
+		Device:          device.GPUID(spec.GPU),
+		Fallbacks:       fallbacks,
+		ArrivalEvery:    spec.ServeEvery,
+		PoissonArrivals: spec.PoissonArrivals,
+		ArrivalSeed:     spec.ArrivalSeed,
+		ClosedLoop:      spec.ClosedLoop,
+		Saturated:       spec.Saturated,
+		Eager:           spec.Eager,
+		Fuse:            spec.Fuse,
+	}, nil
+}
+
+// Job is a handle on a running DL job.
+type Job struct {
+	inner *workload.Job
+}
+
+// Name returns the job's name.
+func (j *Job) Name() string { return j.inner.Cfg.Name }
+
+// Iterations returns completed training steps or served requests.
+func (j *Job) Iterations() int { return j.inner.Iterations }
+
+// Throughput returns images (or sequences) per second over the window.
+func (j *Job) Throughput(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(j.inner.Iterations*j.inner.Cfg.Batch) / window.Seconds()
+}
+
+// P95Latency returns the 95th-percentile serving latency.
+func (j *Job) P95Latency() time.Duration { return j.inner.Latencies.Percentile(95) }
+
+// MeanLatency returns the mean serving latency.
+func (j *Job) MeanLatency() time.Duration { return j.inner.Latencies.Mean() }
+
+// Requests returns the number of latency samples recorded.
+func (j *Job) Requests() int { return j.inner.Latencies.Count() }
+
+// Crashed reports whether the job died (e.g. OOM under a baseline).
+func (j *Job) Crashed() bool { return j.inner.Crashed() }
+
+// Err returns the crash cause, nil while healthy.
+func (j *Job) Err() error { return j.inner.CrashErr }
