@@ -1,8 +1,8 @@
 # SwitchFlow reproduction — common targets.
 
-.PHONY: all build vet test bench results examples
+.PHONY: all build vet test race bench bench-json results examples
 
-all: build vet test
+all: build vet test race
 
 build:
 	go build ./...
@@ -13,8 +13,19 @@ vet:
 test:
 	go test ./... 2>&1 | tee test_output.txt
 
+# Full suite under the race detector: the parallel experiment harness
+# runs cells on concurrent goroutines, so every package must be
+# race-clean.
+race:
+	go test -race ./... 2>&1 | tee race_output.txt
+
 bench:
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Machine-readable benchmark output (one JSON object per test event) for
+# tracking the performance trajectory across commits.
+bench-json:
+	go test -json -run='^$$' -bench=. -benchmem ./... | tee bench_output.json
 
 # Regenerate every table and figure of the paper (and the extensions).
 results:

@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"switchflow/internal/experiments"
+	"switchflow/internal/harness"
 )
 
 func main() {
@@ -25,8 +27,10 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,eager,fleet,ablation,all")
 		iters    = flag.Int("iters", 200, "iterations per measurement (figures 3, 8, 9, 10)")
 		requests = flag.Int("requests", 200, "inference requests per cell (figure 6, preempt, ablation)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for experiment sweeps (1 = serial)")
 	)
 	flag.Parse()
+	harness.SetParallelism(*parallel)
 	if err := run(*exp, *iters, *requests); err != nil {
 		fmt.Fprintln(os.Stderr, "swbench:", err)
 		os.Exit(1)
@@ -52,7 +56,7 @@ func run(exp string, iters, requests int) error {
 	}
 	if exp == "all" {
 		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "eager", "fleet", "ablation"} {
-			all[id]()
+			timed(id, all[id])
 		}
 		return nil
 	}
@@ -60,8 +64,17 @@ func run(exp string, iters, requests int) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
-	fn()
+	timed(exp, fn)
 	return nil
+}
+
+// timed reports per-experiment wall-clock time on stderr, keeping stdout
+// (the tables) byte-identical between serial and parallel runs.
+func timed(id string, fn func()) {
+	start := time.Now()
+	fn()
+	fmt.Fprintf(os.Stderr, "swbench: %-8s %8.2fs wall (workers=%d)\n",
+		id, time.Since(start).Seconds(), harness.Parallelism())
 }
 
 func header(title string) {

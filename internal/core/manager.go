@@ -57,6 +57,10 @@ type Manager struct {
 	jobs    []*jobState
 	groups  []*Group
 	ctxSeq  int
+	// grantSeq orders grant requests FIFO within a priority class. It is
+	// per-manager, not package-level, so concurrent experiment cells never
+	// share it (and one cell's request order can never leak into another).
+	grantSeq int
 
 	// PreemptionLatencies records request-to-grant times for preemptive
 	// acquisitions (§5.2.3).

@@ -19,15 +19,13 @@ type grantReq struct {
 	seq     int
 }
 
-var grantSeq int
-
 // acquire requests exclusive use of GPU gpu for js. onGrant fires when the
 // device is granted. A higher-priority request preempts the current owner
 // (§3.3); equal or lower priority waits FIFO within its priority class.
 func (m *Manager) acquire(gpu int, js *jobState, onGrant func()) {
 	arb := m.arbs[gpu]
-	grantSeq++
-	req := &grantReq{js: js, onGrant: onGrant, seq: grantSeq}
+	m.grantSeq++
+	req := &grantReq{js: js, onGrant: onGrant, seq: m.grantSeq}
 	if arb.owner == nil {
 		arb.owner = js
 		m.recordGrant(js)

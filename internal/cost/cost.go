@@ -6,6 +6,7 @@
 package cost
 
 import (
+	"sync"
 	"time"
 
 	"switchflow/internal/device"
@@ -57,14 +58,53 @@ var opFootprint = map[graph.OpType]float64{
 	graph.OpApplyGradient:   0.40,
 }
 
+// kernelKey identifies a kernel cost-model evaluation: the op signature
+// (family, FLOPs, memory traffic) and the GPU class it runs on. Identical
+// kernels are re-costed on every iteration of every run and every
+// experiment cell rebuilds the same model graphs, so the result is worth
+// memoizing globally.
+type kernelKey struct {
+	op    graph.OpType
+	flops float64
+	mem   int64
+	class device.GPUClass
+}
+
+// kernelMemo caches KernelDuration results. sync.Map fits the access
+// pattern exactly: a small, quickly-stabilizing key set written once and
+// then read lock-free from every parallel experiment cell.
+var kernelMemo sync.Map // kernelKey -> time.Duration
+
 // KernelDuration returns the solo execution time of node n on a GPU of the
 // given class: max(compute time, memory time) under the roofline model.
-// Send/Recv and CPU-only ops have no GPU kernel and return zero.
+// Send/Recv and CPU-only ops have no GPU kernel and return zero. Results
+// are memoized twice over: a per-node slot serves the steady-state case
+// (the same node re-costed every iteration on the same GPU), and a global
+// per-(op signature, GPU class) table shares results across the identical
+// model graphs that every experiment cell rebuilds.
 func KernelDuration(n *graph.Node, class device.GPUClass) time.Duration {
-	eff, ok := computeEfficiency[n.Op]
-	if !ok {
+	if d, ok := n.CachedKernelDuration(class); ok {
+		return d
+	}
+	if _, ok := computeEfficiency[n.Op]; !ok {
+		n.SetCachedKernelDuration(class, 0)
 		return 0
 	}
+	key := kernelKey{op: n.Op, flops: n.FLOPs, mem: n.MemBytes, class: class}
+	var d time.Duration
+	if v, ok := kernelMemo.Load(key); ok {
+		d = v.(time.Duration)
+	} else {
+		d = kernelDurationSlow(n, class)
+		kernelMemo.Store(key, d)
+	}
+	n.SetCachedKernelDuration(class, d)
+	return d
+}
+
+// kernelDurationSlow evaluates the roofline model without the memo.
+func kernelDurationSlow(n *graph.Node, class device.GPUClass) time.Duration {
+	eff := computeEfficiency[n.Op]
 	computeSec := 0.0
 	if n.FLOPs > 0 {
 		computeSec = n.FLOPs / (class.FP32TFLOPS * 1e12 * eff * class.Efficiency)

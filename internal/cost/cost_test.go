@@ -173,3 +173,59 @@ func TestFootprintsBackedByOccupancyCalculator(t *testing.T) {
 			addFoot, Occupancy(addNode))
 	}
 }
+
+func TestKernelDurationMemoMatchesSlowPath(t *testing.T) {
+	nodes := []*graph.Node{
+		{Op: graph.OpConv2D, FLOPs: 2.3e9, MemBytes: 48 << 20},
+		{Op: graph.OpDense, FLOPs: 5.1e8, MemBytes: 12 << 20},
+		{Op: graph.OpAdd, FLOPs: 1e6, MemBytes: 4 << 20},
+		{Op: graph.OpLSTMCell, FLOPs: 9.7e8, MemBytes: 90 << 20},
+		{Op: graph.OpSend}, // no kernel
+	}
+	classes := []device.GPUClass{
+		device.ClassV100, device.ClassRTX2080Ti, device.ClassGTX1080Ti, device.ClassJetsonTX2,
+	}
+	for _, n := range nodes {
+		for _, class := range classes {
+			want := time.Duration(0)
+			if _, ok := computeEfficiency[n.Op]; ok {
+				want = kernelDurationSlow(n, class)
+			}
+			// Twice: cold (fills memo) and warm (reads memo).
+			if got := KernelDuration(n, class); got != want {
+				t.Errorf("%v on %s cold = %v, want %v", n.Op, class.Name, got, want)
+			}
+			if got := KernelDuration(n, class); got != want {
+				t.Errorf("%v on %s warm = %v, want %v", n.Op, class.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelDurationDistinguishesClasses(t *testing.T) {
+	n := &graph.Node{Op: graph.OpConv2D, FLOPs: 2.3e9, MemBytes: 48 << 20}
+	v100 := KernelDuration(n, device.ClassV100)
+	tx2 := KernelDuration(n, device.ClassJetsonTX2)
+	if v100 >= tx2 {
+		t.Fatalf("memo conflated classes: V100 %v not faster than TX2 %v", v100, tx2)
+	}
+}
+
+func BenchmarkKernelDurationMemoized(b *testing.B) {
+	n := &graph.Node{Op: graph.OpConv2D, FLOPs: 2.3e9, MemBytes: 48 << 20}
+	KernelDuration(n, device.ClassV100) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KernelDuration(n, device.ClassV100)
+	}
+}
+
+func BenchmarkKernelDurationSlowPath(b *testing.B) {
+	n := &graph.Node{Op: graph.OpConv2D, FLOPs: 2.3e9, MemBytes: 48 << 20}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernelDurationSlow(n, device.ClassV100)
+	}
+}

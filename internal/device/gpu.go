@@ -65,7 +65,7 @@ type GPU struct {
 	queue      []*kernelExec
 	usedOcc    float64
 	lastUpdate time.Duration
-	completion *sim.Event
+	completion sim.Event
 	busy       time.Duration
 	busySince  time.Duration
 	launched   uint64
@@ -187,10 +187,7 @@ func (g *GPU) rate() float64 {
 // reschedule cancels any pending completion event and schedules one for
 // the earliest-finishing running kernel.
 func (g *GPU) reschedule() {
-	if g.completion != nil {
-		g.completion.Cancel()
-		g.completion = nil
-	}
+	g.completion.Cancel()
 	if len(g.running) == 0 {
 		return
 	}
@@ -210,7 +207,6 @@ func (g *GPU) reschedule() {
 // complete retires every kernel whose work has drained, fires callbacks,
 // admits waiters, and reschedules.
 func (g *GPU) complete() {
-	g.completion = nil
 	g.advance()
 	// Anything under a nanosecond of solo work is done: the event queue's
 	// resolution is 1 ns, so finer residues can never drain.
@@ -243,7 +239,7 @@ func (g *GPU) complete() {
 	}
 	// Callbacks may have submitted new kernels (Submit reschedules), but
 	// if they did not we still need a completion event for survivors.
-	if g.completion == nil {
+	if !g.completion.Scheduled() {
 		g.reschedule()
 	}
 }

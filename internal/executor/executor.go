@@ -54,12 +54,17 @@ const eagerDispatchOverhead = 75 * time.Microsecond
 // "the new session is populated with the tasks of the aborted session run
 // so that no work is lost" (§3.3). Abort is a terminal suspend.
 type Run struct {
-	sub        *graph.Subgraph
-	cfg        Config
-	eng        *sim.Engine
-	pending    map[int]int
-	doneSet    map[int]bool
-	shardsLeft map[int]int
+	sub *graph.Subgraph
+	cfg Config
+	eng *sim.Engine
+	// pending counts unmet intra-subgraph dependencies per node ID; -1
+	// marks nodes of other subgraphs (dependencies across subgraphs are
+	// satisfied by stage sequencing). doneSet is indexed the same way.
+	// Slices, not maps: a Run is created for every iteration of every
+	// job, and the dependency bookkeeping is the executor's hottest path.
+	pending    []int32
+	doneSet    []bool
+	shardsLeft map[int]int // lazily allocated; only sharded CPU ops use it
 	done       int
 	total      int
 	suspended  bool
@@ -77,43 +82,24 @@ func Start(eng *sim.Engine, sub *graph.Subgraph, cfg Config, onDone func()) (*Ru
 	if sub.Device.Kind == device.KindGPU && cfg.Stream == nil {
 		return nil, fmt.Errorf("executor: %s: GPU subgraph needs a stream", sub.Name())
 	}
+	plan := sub.Plan()
 	r := &Run{
-		sub:        sub,
-		cfg:        cfg,
-		eng:        eng,
-		pending:    make(map[int]int, len(sub.Nodes)),
-		doneSet:    make(map[int]bool, len(sub.Nodes)),
-		shardsLeft: make(map[int]int),
-		total:      len(sub.Nodes),
-		onDone:     onDone,
+		sub:     sub,
+		cfg:     cfg,
+		eng:     eng,
+		pending: make([]int32, plan.NumNodes),
+		doneSet: make([]bool, plan.NumNodes),
+		total:   len(sub.Nodes),
+		onDone:  onDone,
 	}
-	inSub := make(map[int]bool, len(sub.Nodes))
-	for _, n := range sub.Nodes {
-		inSub[n.ID] = true
-	}
-	// Dependencies outside the subgraph are satisfied by stage sequencing
-	// (the producing executor ran to completion first), so only
-	// intra-subgraph edges gate readiness.
-	var ready []*graph.Node
-	for _, n := range sub.Nodes {
-		deps := 0
-		for _, in := range n.Inputs() {
-			if inSub[in.ID] {
-				deps++
-			}
-		}
-		r.pending[n.ID] = deps
-		if deps == 0 {
-			ready = append(ready, n)
-		}
-	}
+	copy(r.pending, plan.Deps)
 	if r.total == 0 {
 		eng.After(0, r.finish)
 		return r, nil
 	}
 	// Initial dispatch: the ready queue is drained breadth-first onto
 	// separate local queues (§2.1).
-	for _, n := range ready {
+	for _, n := range plan.Ready {
 		r.dispatch(n, -1, false)
 	}
 	return r, nil
@@ -248,6 +234,9 @@ func (r *Run) dispatch(n *graph.Node, preferred int, front bool) {
 // dispatchSharded fans a heavy CPU op over several worker threads with
 // MKL-style imperfect scaling; the node completes when every shard does.
 func (r *Run) dispatchSharded(n *graph.Node, pool *threadpool.Pool, total time.Duration, shards int) {
+	if r.shardsLeft == nil {
+		r.shardsLeft = make(map[int]int)
+	}
 	r.shardsLeft[n.ID] = shards
 	epoch := r.epoch
 	per := time.Duration(float64(total) / (float64(shards) * mklScalingEfficiency))
@@ -369,8 +358,8 @@ func (r *Run) complete(n *graph.Node) {
 	r.doneSet[n.ID] = true
 	r.done++
 	for _, succ := range n.Outputs() {
-		deps, ok := r.pending[succ.ID]
-		if !ok {
+		deps := r.pending[succ.ID]
+		if deps < 0 {
 			continue // successor lives in another subgraph
 		}
 		r.pending[succ.ID] = deps - 1

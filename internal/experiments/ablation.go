@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"switchflow/internal/core"
+	"switchflow/internal/harness"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -19,29 +20,33 @@ type AblationRow struct {
 	Description string
 }
 
-// Ablation runs the four variants plus the full design.
+// ablationVariant is one design-choice toggle.
+type ablationVariant struct {
+	name string
+	opts core.Options
+	desc string
+}
+
+// ablationVariants are the four ablations plus the full design.
+var ablationVariants = []ablationVariant{
+	{"full", core.Options{},
+		"both invariants, async transfer, temp-pool isolation"},
+	{"no-gpu-exclusive", core.Options{DisableGPUExclusive: true},
+		"invariant 1 off: GPU executors co-run and contend"},
+	{"no-free-cpu", core.Options{DisableFreeCPUExecutors: true},
+		"invariant 2 off: input runs only under the GPU grant (time slicing)"},
+	{"sync-transfer", core.Options{SyncStateTransfer: true},
+		"migration state transfer on the preemption critical path"},
+	{"no-temp-pool", core.Options{DisableTempPoolIsolation: true},
+		"preempted jobs keep dispatching from the global pool"},
+}
+
+// Ablation runs the variants on the parallel harness, in declaration
+// order.
 func Ablation(requests int) []AblationRow {
-	variants := []struct {
-		name string
-		opts core.Options
-		desc string
-	}{
-		{"full", core.Options{},
-			"both invariants, async transfer, temp-pool isolation"},
-		{"no-gpu-exclusive", core.Options{DisableGPUExclusive: true},
-			"invariant 1 off: GPU executors co-run and contend"},
-		{"no-free-cpu", core.Options{DisableFreeCPUExecutors: true},
-			"invariant 2 off: input runs only under the GPU grant (time slicing)"},
-		{"sync-transfer", core.Options{SyncStateTransfer: true},
-			"migration state transfer on the preemption critical path"},
-		{"no-temp-pool", core.Options{DisableTempPoolIsolation: true},
-			"preempted jobs keep dispatching from the global pool"},
-	}
-	rows := make([]AblationRow, 0, len(variants))
-	for _, v := range variants {
-		rows = append(rows, ablationOne(v.name, v.desc, v.opts, requests))
-	}
-	return rows
+	return harness.Map(ablationVariants, func(v ablationVariant) AblationRow {
+		return ablationOne(v.name, v.desc, v.opts, requests)
+	})
 }
 
 func ablationOne(name, desc string, opts core.Options, requests int) AblationRow {
@@ -81,19 +86,15 @@ type AblationMigrationRow struct {
 	LowRecoverySec   float64 // low job's first post-migration iteration
 }
 
-// AblationMigration runs both transfer modes.
+// AblationMigration runs both transfer modes on the parallel harness.
 func AblationMigration() []AblationMigrationRow {
-	rows := make([]AblationMigrationRow, 0, 2)
-	for _, v := range []struct {
-		name string
-		opts core.Options
-	}{
-		{"async-transfer", core.Options{}},
-		{"sync-transfer", core.Options{SyncStateTransfer: true}},
-	} {
-		rows = append(rows, ablationMigrationOne(v.name, v.opts))
+	variants := []ablationVariant{
+		{name: "async-transfer", opts: core.Options{}},
+		{name: "sync-transfer", opts: core.Options{SyncStateTransfer: true}},
 	}
-	return rows
+	return harness.Map(variants, func(v ablationVariant) AblationMigrationRow {
+		return ablationMigrationOne(v.name, v.opts)
+	})
 }
 
 func ablationMigrationOne(name string, opts core.Options) AblationMigrationRow {

@@ -1,6 +1,9 @@
 package experiments
 
-import "switchflow/internal/workload"
+import (
+	"switchflow/internal/harness"
+	"switchflow/internal/workload"
+)
 
 // Figure10Row is one bar of Figure 10: the gain of SwitchFlow's executor
 // interleaving (invariant 2: CPU executors run freely while another job
@@ -34,14 +37,24 @@ var figure10Setups = []struct {
 }
 
 // Figure10 measures interleaving on the V100; iters is sessions per model.
+// Cells run on the parallel harness in the serial sweep order
+// (subfigure-major).
 func Figure10(iters int) []Figure10Row {
-	var rows []Figure10Row
+	type cell struct {
+		sub      string
+		partner  string
+		training bool
+		model    string
+	}
+	var cells []cell
 	for _, setup := range figure10Setups {
 		for _, model := range figure10Models {
-			rows = append(rows, Figure10Cell(setup.sub, setup.partner, setup.training, model, iters))
+			cells = append(cells, cell{setup.sub, setup.partner, setup.training, model})
 		}
 	}
-	return rows
+	return harness.Map(cells, func(c cell) Figure10Row {
+		return Figure10Cell(c.sub, c.partner, c.training, c.model, iters)
+	})
 }
 
 // Figure10Cell runs one cell: model (inference BS=128) co-run with the

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"switchflow/internal/baseline"
+	"switchflow/internal/harness"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -42,15 +43,24 @@ var figure3Setups = []struct {
 }
 
 // Figure3 measures each model/GPU/mode combination over iters sessions
-// (the paper averages 200).
+// (the paper averages 200). Cells run on the parallel harness; rows come
+// back in the serial sweep order (setup-major, model-minor).
 func Figure3(iters int) []Figure3Row {
-	var rows []Figure3Row
+	type cell struct {
+		gpu      string
+		training bool
+		batch    int
+		model    string
+	}
+	var cells []cell
 	for _, setup := range figure3Setups {
 		for _, model := range figure3Models {
-			rows = append(rows, figure3One(setup.gpu, model, setup.training, setup.batch, iters))
+			cells = append(cells, cell{setup.gpu, setup.training, setup.batch, model})
 		}
 	}
-	return rows
+	return harness.Map(cells, func(c cell) Figure3Row {
+		return figure3One(c.gpu, c.model, c.training, c.batch, iters)
+	})
 }
 
 func figure3One(gpu, model string, training bool, batch, iters int) Figure3Row {

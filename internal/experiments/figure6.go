@@ -5,6 +5,7 @@ import (
 
 	"switchflow/internal/baseline"
 	"switchflow/internal/core"
+	"switchflow/internal/harness"
 	"switchflow/internal/sim"
 )
 
@@ -36,18 +37,22 @@ var figure6NMTTrainJobs = []string{
 
 // Figure6 measures requests tail latency per (training, inference) pair.
 // requests is the number of completed inference requests sampled per cell
-// (after warmup).
+// (after warmup). Cells run on the parallel harness in the serial sweep
+// order: subfigures (a)-(c) background-major, then the NMT column (d).
 func Figure6(requests int) []Figure6Row {
-	var rows []Figure6Row
+	type cell struct{ train, infer string }
+	var cells []cell
 	for _, bg := range figure6TrainBackgrounds {
 		for _, infer := range figure6InferModels {
-			rows = append(rows, figure6Cell(bg, infer, requests))
+			cells = append(cells, cell{bg, infer})
 		}
 	}
 	for _, bg := range figure6NMTTrainJobs {
-		rows = append(rows, figure6Cell(bg, "NMT", requests))
+		cells = append(cells, cell{bg, "NMT"})
 	}
-	return rows
+	return harness.Map(cells, func(c cell) Figure6Row {
+		return figure6Cell(c.train, c.infer, requests)
+	})
 }
 
 // Figure6Cell runs one (training, inference) pair.

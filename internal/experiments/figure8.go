@@ -5,6 +5,7 @@ import (
 
 	"switchflow/internal/baseline"
 	"switchflow/internal/core"
+	"switchflow/internal/harness"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -43,15 +44,24 @@ var figure8Models = []string{
 }
 
 // Figure8 measures identical-model input reuse; iters is the per-model
-// session count (the paper uses 200).
+// session count (the paper uses 200). Cells run on the parallel harness in
+// the serial sweep order.
 func Figure8(iters int) []Figure8Row {
-	var rows []Figure8Row
+	type cell struct {
+		gpu      string
+		training bool
+		batch    int
+		model    string
+	}
+	var cells []cell
 	for _, setup := range figure8Setups {
 		for _, model := range figure8Models {
-			rows = append(rows, Figure8Cell(setup.gpu, model, setup.training, setup.batch, iters))
+			cells = append(cells, cell{setup.gpu, setup.training, setup.batch, model})
 		}
 	}
-	return rows
+	return harness.Map(cells, func(c cell) Figure8Row {
+		return Figure8Cell(c.gpu, c.model, c.training, c.batch, iters)
+	})
 }
 
 // Figure8Cell runs one (gpu, model, mode) cell with two identical models.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 
+	"switchflow/internal/harness"
 	"switchflow/internal/workload"
 )
 
@@ -31,15 +32,22 @@ var figure9Sets = [][]string{
 // figure9Batches are the batch sizes of the two subfigures.
 var figure9Batches = []int{32, 64, 128}
 
-// Figure9 measures mixed-model input reuse on the V100 (inference).
+// Figure9 measures mixed-model input reuse on the V100 (inference). Cells
+// run on the parallel harness in the serial sweep order (batch-major).
 func Figure9(iters int) []Figure9Row {
-	var rows []Figure9Row
+	type cell struct {
+		set   []string
+		batch int
+	}
+	var cells []cell
 	for _, batch := range figure9Batches {
 		for _, set := range figure9Sets {
-			rows = append(rows, Figure9Cell(set, batch, iters))
+			cells = append(cells, cell{set, batch})
 		}
 	}
-	return rows
+	return harness.Map(cells, func(c cell) Figure9Row {
+		return Figure9Cell(c.set, c.batch, iters)
+	})
 }
 
 // Figure9Cell runs one (model set, batch) cell.

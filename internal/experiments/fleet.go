@@ -5,6 +5,7 @@ import (
 
 	"switchflow/internal/cluster"
 	"switchflow/internal/device"
+	"switchflow/internal/harness"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -30,11 +31,9 @@ const fleetSLO = 200 * time.Millisecond
 // minute; measured over the following window.
 func Fleet(window time.Duration) []FleetRow {
 	policies := []cluster.Policy{cluster.Dedicate{}, cluster.FirstFit{}, cluster.Collocate{}}
-	rows := make([]FleetRow, 0, len(policies))
-	for _, p := range policies {
-		rows = append(rows, fleetOne(p, window))
-	}
-	return rows
+	return harness.Map(policies, func(p cluster.Policy) FleetRow {
+		return fleetOne(p, window)
+	})
 }
 
 func fleetOne(policy cluster.Policy, window time.Duration) FleetRow {

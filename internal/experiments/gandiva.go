@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"switchflow/internal/core"
+	"switchflow/internal/harness"
 	"switchflow/internal/sim"
 )
 
@@ -25,13 +26,12 @@ type GandivaRow struct {
 // gandivaModels spans light to heavy checkpoint sizes (Table 1).
 var gandivaModels = []string{"MobileNetV2", "ResNet50", "InceptionV3", "VGG16"}
 
-// Gandiva runs the comparison for each background model.
+// Gandiva runs the comparison for each background model, on the
+// parallel harness in declaration order.
 func Gandiva(requests int) []GandivaRow {
-	rows := make([]GandivaRow, 0, len(gandivaModels))
-	for _, model := range gandivaModels {
-		rows = append(rows, GandivaCell(model, requests))
-	}
-	return rows
+	return harness.Map(gandivaModels, func(model string) GandivaRow {
+		return GandivaCell(model, requests)
+	})
 }
 
 // GandivaCell runs one background model under both mechanisms.

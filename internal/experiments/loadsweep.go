@@ -5,6 +5,7 @@ import (
 
 	"switchflow/internal/baseline"
 	"switchflow/internal/core"
+	"switchflow/internal/harness"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -25,13 +26,12 @@ type LoadRow struct {
 // saturation point.
 var defaultLoadRates = []float64{1, 2, 5, 10, 20, 40}
 
-// LoadSweep measures tail latency across arrival rates.
+// LoadSweep measures tail latency across arrival rates, on the
+// parallel harness in rate order.
 func LoadSweep(requests int) []LoadRow {
-	rows := make([]LoadRow, 0, len(defaultLoadRates))
-	for _, rate := range defaultLoadRates {
-		rows = append(rows, LoadPoint(rate, requests))
-	}
-	return rows
+	return harness.Map(defaultLoadRates, func(rate float64) LoadRow {
+		return LoadPoint(rate, requests)
+	})
 }
 
 // LoadPoint measures one arrival rate under both schedulers.

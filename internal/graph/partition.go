@@ -17,6 +17,55 @@ type Subgraph struct {
 	// Nodes are the member nodes in parent topological order, including
 	// the Send/Recv nodes synthesized at partition boundaries.
 	Nodes []*Node
+
+	plan *ExecPlan
+}
+
+// ExecPlan is the per-activation executor bootstrap for a subgraph:
+// intra-subgraph dependency counts and the initially-ready frontier. It is
+// identical for every iteration of a job, so the executor copies the
+// template instead of recomputing membership maps each activation.
+type ExecPlan struct {
+	// NumNodes is the parent graph's node count; per-node executor state
+	// is indexed by Node.ID, which is dense in the parent graph.
+	NumNodes int
+	// Deps holds, per node ID, the number of intra-subgraph dependencies;
+	// -1 marks nodes that belong to other subgraphs.
+	Deps []int32
+	// Ready lists member nodes with no intra-subgraph dependencies, in
+	// subgraph order.
+	Ready []*Node
+}
+
+// Plan returns the subgraph's executor bootstrap, computing and caching it
+// on first use. The subgraph must not gain or lose nodes afterwards (it
+// never does: partitioning is the last structural change to a graph).
+func (s *Subgraph) Plan() *ExecPlan {
+	if s.plan != nil {
+		return s.plan
+	}
+	p := &ExecPlan{NumNodes: len(s.Graph.nodes)}
+	p.Deps = make([]int32, p.NumNodes)
+	for i := range p.Deps {
+		p.Deps[i] = -1
+	}
+	for _, n := range s.Nodes {
+		p.Deps[n.ID] = 0
+	}
+	for _, n := range s.Nodes {
+		deps := int32(0)
+		for _, in := range n.in {
+			if p.Deps[in.ID] >= 0 {
+				deps++
+			}
+		}
+		p.Deps[n.ID] = deps
+		if deps == 0 {
+			p.Ready = append(p.Ready, n)
+		}
+	}
+	s.plan = p
+	return p
 }
 
 // Name returns a readable label, e.g. "resnet50@gpu:0".

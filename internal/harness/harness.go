@@ -1,0 +1,89 @@
+// Package harness fans independent experiment cells out across worker
+// goroutines with results returned in input order.
+//
+// Every table and figure of the paper's evaluation is a sweep over
+// independent cells — each cell builds its own sim.Engine and never shares
+// mutable state with its neighbours — so the sweeps are embarrassingly
+// parallel. Map preserves the exact output a serial loop would produce:
+// results land at the index of their input, and each cell's simulation is
+// deterministic on its own, so parallel output is bit-for-bit identical to
+// serial output regardless of worker count or completion order. That is
+// the harness's determinism contract, and tests assert it.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism is the configured worker count; <= 0 selects
+// runtime.GOMAXPROCS(0). It is read atomically so experiment code can run
+// under -race while a CLI flag or test adjusts it.
+var parallelism atomic.Int32
+
+// SetParallelism sets the worker count used by Map. Values <= 0 restore
+// the default, runtime.GOMAXPROCS(0). It returns the previous setting so
+// tests can restore it.
+func SetParallelism(n int) int {
+	return int(parallelism.Swap(int32(n)))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item and returns the results in input order.
+// Cells execute on up to Parallelism() workers; with one worker (or one
+// item) Map degenerates to a plain loop on the calling goroutine. If any
+// fn panics, Map re-panics with the first panic value on the caller's
+// goroutine once all workers have stopped, matching a serial loop's
+// behaviour closely enough for the experiments' mustSpec-style failures.
+func Map[T, R any](items []T, fn func(T) R) []R {
+	out := make([]R, len(items))
+	workers := Parallelism()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, item := range items {
+			out[i] = fn(item)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil && panicked.CompareAndSwap(false, true) {
+							panicVal = v
+						}
+					}()
+					out[i] = fn(items[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func restore(prev int) func() {
+	return func() { SetParallelism(prev) }
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	defer restore(SetParallelism(8))()
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got := Map(items, func(v int) int { return v * v })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	defer restore(SetParallelism(4))()
+	if got := Map(nil, func(v int) int { return v }); len(got) != 0 {
+		t.Fatalf("Map(nil) returned %d results", len(got))
+	}
+	got := Map([]int{7}, func(v int) int { return v + 1 })
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("Map single = %v, want [8]", got)
+	}
+}
+
+func TestMapSerialWhenParallelismOne(t *testing.T) {
+	defer restore(SetParallelism(1))()
+	var concurrent, maxConcurrent atomic.Int32
+	items := make([]int, 50)
+	Map(items, func(int) int {
+		c := concurrent.Add(1)
+		for {
+			m := maxConcurrent.Load()
+			if c <= m || maxConcurrent.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		concurrent.Add(-1)
+		return 0
+	})
+	if maxConcurrent.Load() != 1 {
+		t.Fatalf("parallelism 1 ran %d cells concurrently", maxConcurrent.Load())
+	}
+}
+
+func TestMapUsesWorkers(t *testing.T) {
+	defer restore(SetParallelism(4))()
+	var started atomic.Int32
+	release := make(chan struct{})
+	items := make([]int, 4)
+	done := make(chan []int)
+	go func() {
+		done <- Map(items, func(int) int {
+			started.Add(1)
+			<-release
+			return 1
+		})
+	}()
+	// All four cells must start concurrently; with fewer than 4 workers
+	// this would deadlock rather than reach 4.
+	for started.Load() < 4 {
+		runtime.Gosched()
+	}
+	close(release)
+	<-done
+}
+
+func TestMapMatchesSerialAcrossWorkerCounts(t *testing.T) {
+	items := make([]int, 37)
+	for i := range items {
+		items[i] = i * 3
+	}
+	fn := func(v int) int { return v*v - v }
+	defer restore(SetParallelism(1))()
+	want := Map(items, fn)
+	for _, workers := range []int{2, 3, 8, 64} {
+		SetParallelism(workers)
+		got := Map(items, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapPropagatesPanic(t *testing.T) {
+	defer restore(SetParallelism(4))()
+	defer func() {
+		if v := recover(); v != "cell 13 exploded" {
+			t.Fatalf("recovered %v, want cell 13's panic", v)
+		}
+	}()
+	items := make([]int, 40)
+	for i := range items {
+		items[i] = i
+	}
+	Map(items, func(v int) int {
+		if v == 13 {
+			panic("cell 13 exploded")
+		}
+		return v
+	})
+	t.Fatal("Map returned instead of panicking")
+}
+
+func TestSetParallelismReturnsPrevious(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if got := SetParallelism(5); got != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", got)
+	}
+	if Parallelism() != 5 {
+		t.Fatalf("Parallelism() = %d, want 5", Parallelism())
+	}
+	if got := SetParallelism(0); got != 5 {
+		t.Fatalf("SetParallelism returned %d, want 5", got)
+	}
+	if Parallelism() < 1 {
+		t.Fatalf("default Parallelism() = %d, want >= 1", Parallelism())
+	}
+}

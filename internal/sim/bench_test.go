@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineScheduleStep measures the steady-state schedule-then-fire
+// cycle with a realistic queue depth (a few hundred outstanding events, the
+// regime the experiment sweeps run in).
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	const depth = 256
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(time.Duration(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+depth, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel measures the schedule-cancel pattern the GPU model
+// hits on every kernel enqueue/retire (reschedule cancels the pending
+// completion event and schedules a new one).
+func BenchmarkEngineCancel(b *testing.B) {
+	const depth = 128
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(time.Duration(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.Now()+depth/2, fn)
+		ev.Cancel()
+	}
+}
+
+// BenchmarkEngineMixed interleaves schedules, cancels, and steps in the
+// proportions a serving-plus-training cell produces: most events fire, a
+// steady fraction are cancelled completion events.
+func BenchmarkEngineMixed(b *testing.B) {
+	const depth = 256
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(time.Duration(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.Now()+depth/4, fn)
+		e.Schedule(e.Now()+depth, fn)
+		if i%4 != 0 {
+			ev.Cancel()
+		}
+		e.Step()
+	}
+}

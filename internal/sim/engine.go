@@ -5,39 +5,68 @@
 // state change happens inside an event callback. Events scheduled for the
 // same instant fire in the order they were scheduled, which makes runs
 // bit-for-bit reproducible.
+//
+// The engine is tuned for the experiment sweeps' hot path: the pending set
+// is a 4-ary min-heap specialized to events (no interface boxing), fired
+// and cancelled events return to a free list so steady-state Schedule/Step
+// cycles allocate nothing, and Cancel physically removes the event from the
+// heap instead of leaving a tombstone behind.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a handle to a scheduled callback, returned by Schedule and
+// After. The zero value is a valid "no event" handle. Handles are small
+// values; copying one copies the right to cancel the same event.
 type Event struct {
+	ev  *event
+	seq uint64
+	at  time.Duration
+}
+
+// At reports the virtual time the event is (or was) scheduled for.
+func (h Event) At() time.Duration { return h.at }
+
+// Cancel prevents the event from firing and removes it from the engine's
+// pending set. Cancelling the zero handle, or an event that already fired
+// or was already cancelled, is a no-op: the handle carries the scheduling
+// generation, so a stale handle can never cancel a recycled event.
+func (h Event) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.seq != h.seq {
+		return
+	}
+	ev.eng.remove(ev)
+}
+
+// Scheduled reports whether the event is still pending: false for the zero
+// handle and once the event has fired or been cancelled.
+func (h Event) Scheduled() bool {
+	return h.ev != nil && h.ev.seq == h.seq
+}
+
+// event is the engine-owned state behind an Event handle. Fired and
+// cancelled events are recycled through the engine's free list; seq is
+// bumped to zero on recycle so outstanding handles go inert.
+type event struct {
+	eng   *Engine
 	at    time.Duration
 	seq   uint64
 	fn    func()
-	index int // heap index; -1 once fired or cancelled
-}
-
-// At reports the virtual time the event is scheduled for.
-func (ev *Event) At() time.Duration { return ev.at }
-
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired (or was already cancelled) is a no-op.
-func (ev *Event) Cancel() {
-	ev.fn = nil
+	index int32 // position in the heap; -1 while on the free list
 }
 
 // Engine is a virtual-time event loop. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	queue  eventQueue
-	fired  uint64
-	inStep bool
+	now   time.Duration
+	seq   uint64
+	heap  []*event // 4-ary min-heap ordered by (at, seq)
+	free  []*event // recycled event structs
+	fired uint64
 }
 
 // NewEngine returns an empty engine positioned at virtual time zero.
@@ -52,26 +81,34 @@ func (e *Engine) Now() time.Duration { return e.now }
 // for guarding against runaway simulations.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still scheduled (including cancelled
-// events that have not yet been popped).
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of live events still scheduled. Cancelled
+// events are removed immediately and never counted.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule registers fn to run at absolute virtual time at. Scheduling in
 // the past is an error surfaced as a panic because it always indicates a
 // simulation bug, never a recoverable condition.
-func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(at time.Duration, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{eng: e}
+	}
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.push(ev)
+	return Event{ev: ev, seq: ev.seq, at: at}
 }
 
 // After registers fn to run d from the current virtual time. Negative d is
 // treated as zero.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -79,24 +116,17 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 }
 
 // Step fires the next event, if any, and reports whether one fired.
-// Cancelled events are skipped transparently.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev, ok := heap.Pop(&e.queue).(*Event)
-		if !ok {
-			panic("sim: corrupt event queue")
-		}
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.fired++
-		fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	ev := e.popMin()
+	e.now = ev.at
+	fn := ev.fn
+	e.recycle(ev)
+	e.fired++
+	fn()
+	return true
 }
 
 // Run fires events until the queue drains.
@@ -109,11 +139,7 @@ func (e *Engine) Run() {
 // Events scheduled during the run are honoured if they fall within the
 // horizon.
 func (e *Engine) RunUntil(t time.Duration) {
-	for {
-		ev := e.peek()
-		if ev == nil || ev.at > t {
-			break
-		}
+	for len(e.heap) > 0 && e.heap[0].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -126,50 +152,107 @@ func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now + d)
 }
 
-func (e *Engine) peek() *Event {
-	for e.queue.Len() > 0 {
-		ev := e.queue[0]
-		if ev.fn != nil {
-			return ev
-		}
-		heap.Pop(&e.queue)
+// less orders events by (time, schedule order), the contract that makes
+// simulations reproducible.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return nil
+	return a.seq < b.seq
 }
 
-// eventQueue is a min-heap ordered by (time, seq).
-type eventQueue []*Event
+// push inserts ev into the heap.
+func (e *Engine) push(ev *event) {
+	ev.index = int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.siftUp(int(ev.index))
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// popMin removes and returns the earliest event. The heap must be
+// non-empty.
+func (e *Engine) popMin() *event {
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		last.index = 0
+		e.siftDown(0)
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		panic("sim: push of non-event")
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
 	return ev
+}
+
+// remove deletes ev from an arbitrary heap position and recycles it.
+func (e *Engine) remove(ev *event) {
+	i := int(ev.index)
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if i != n {
+		e.heap[i] = last
+		last.index = int32(i)
+		e.siftDown(i)
+		if int(last.index) == i {
+			e.siftUp(i)
+		}
+	}
+	e.recycle(ev)
+}
+
+// recycle invalidates outstanding handles to ev and returns it to the free
+// list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.seq = 0
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// siftUp restores heap order above position i.
+func (e *Engine) siftUp(i int) {
+	ev := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(ev, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.heap[i].index = int32(i)
+		i = p
+	}
+	e.heap[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown restores heap order below position i.
+func (e *Engine) siftDown(i int) {
+	ev := e.heap[i]
+	n := len(e.heap)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for k := c + 1; k < end; k++ {
+			if less(e.heap[k], e.heap[m]) {
+				m = k
+			}
+		}
+		if !less(e.heap[m], ev) {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		e.heap[i].index = int32(i)
+		i = m
+	}
+	e.heap[i] = ev
+	ev.index = int32(i)
 }

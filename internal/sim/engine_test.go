@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -103,13 +104,131 @@ func TestEventCancel(t *testing.T) {
 
 func TestEventCancelDuringRun(t *testing.T) {
 	e := NewEngine()
-	var later *Event
+	var later Event
 	fired := false
 	e.Schedule(1, func() { later.Cancel() })
 	later = e.Schedule(2, func() { fired = true })
 	e.Run()
 	if fired {
 		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	evs := make([]Event, 5)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1), func() {})
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() after two cancels = %d, want 3", e.Pending())
+	}
+	evs[3].Cancel() // double cancel is a no-op
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() after double cancel = %d, want 3", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() after Run = %d, want 0", e.Pending())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", e.Fired())
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	first := e.Schedule(1, func() {})
+	e.Step() // fires first; its event struct returns to the free list
+	fired := false
+	e.Schedule(2, func() { fired = true }) // reuses the recycled struct
+	first.Cancel()                         // stale: must not touch the new event
+	if first.Scheduled() {
+		t.Fatal("fired handle still reports Scheduled")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel removed an unrelated recycled event")
+	}
+}
+
+func TestScheduledReflectsLifecycle(t *testing.T) {
+	e := NewEngine()
+	var zero Event
+	if zero.Scheduled() {
+		t.Fatal("zero handle reports Scheduled")
+	}
+	ev := e.Schedule(1, func() {})
+	if !ev.Scheduled() {
+		t.Fatal("pending event not Scheduled")
+	}
+	ev.Cancel()
+	if ev.Scheduled() {
+		t.Fatal("cancelled event still Scheduled")
+	}
+}
+
+func TestSteadyStateReusesEvents(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Step()
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d entries, want 1", len(e.free))
+	}
+	recycled := e.free[0]
+	ev := e.Schedule(2, func() {})
+	if ev.ev != recycled {
+		t.Fatal("Schedule did not reuse the recycled event struct")
+	}
+	if len(e.free) != 0 {
+		t.Fatalf("free list has %d entries after reuse, want 0", len(e.free))
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves the survivors firing in
+// exactly the original (time, schedule-order) sequence.
+func TestCancelPreservesOrderProperty(t *testing.T) {
+	type rec struct {
+		at  time.Duration
+		seq int
+	}
+	prop := func(delays []uint16, mask []bool) bool {
+		e := NewEngine()
+		var got []rec
+		evs := make([]Event, len(delays))
+		for i, d := range delays {
+			i, d := i, d
+			evs[i] = e.Schedule(time.Duration(d), func() {
+				got = append(got, rec{time.Duration(d), i})
+			})
+		}
+		var want []rec
+		for i, d := range delays {
+			if i < len(mask) && mask[i] {
+				evs[i].Cancel()
+				continue
+			}
+			want = append(want, rec{time.Duration(d), i})
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -124,7 +124,7 @@ type Job struct {
 	pendingArrivals []time.Duration // serving: request arrival times
 	inFlight        []time.Duration // arrivals whose input stage started
 	inputReady      int
-	arrivalEvent    *sim.Event
+	arrivalEvent    sim.Event
 	onArrival       func()              // closed-loop re-arm hook
 	weightHome      map[device.ID]int64 // allocated weight bytes
 	intermediate    map[device.ID]int64
@@ -341,10 +341,8 @@ func (j *Job) StartArrivals(onNew func()) {
 
 // StopArrivals halts the request stream.
 func (j *Job) StopArrivals() {
-	if j.arrivalEvent != nil {
-		j.arrivalEvent.Cancel()
-		j.arrivalEvent = nil
-	}
+	j.arrivalEvent.Cancel()
+	j.arrivalEvent = sim.Event{}
 	j.onArrival = nil
 }
 
