@@ -1,5 +1,10 @@
 # SwitchFlow reproduction — common targets.
 
+# Several targets pipe `go test` through tee; without pipefail the pipe's
+# exit status is tee's, and test failures silently pass CI.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
 .PHONY: all build vet test race bench bench-json results examples
 
 all: build vet test race

@@ -1,0 +1,280 @@
+package switchflow_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"switchflow"
+)
+
+func TestJobSpecValidate(t *testing.T) {
+	valid := switchflow.JobSpec{
+		Name: "ok", Model: "ResNet50", Batch: 8, ServeEvery: 50 * time.Millisecond,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*switchflow.JobSpec)
+	}{
+		{"zero batch", func(s *switchflow.JobSpec) { s.Batch = 0 }},
+		{"negative batch", func(s *switchflow.JobSpec) { s.Batch = -4 }},
+		{"unknown model", func(s *switchflow.JobSpec) { s.Model = "NoSuchNet" }},
+		{"negative gpu", func(s *switchflow.JobSpec) { s.GPU = -1 }},
+		{"negative fallback", func(s *switchflow.JobSpec) { s.FallbackGPUs = []int{-2} }},
+		{"negative serve period", func(s *switchflow.JobSpec) { s.ServeEvery = -time.Second }},
+		{"training with arrivals", func(s *switchflow.JobSpec) { s.Train = true }},
+		{"training closed loop", func(s *switchflow.JobSpec) { s.Train = true; s.ServeEvery = 0; s.ClosedLoop = true }},
+		{"closed loop and saturated", func(s *switchflow.JobSpec) { s.ServeEvery = 0; s.ClosedLoop = true; s.Saturated = true }},
+		{"saturated with arrivals", func(s *switchflow.JobSpec) { s.Saturated = true }},
+		{"closed loop with arrivals", func(s *switchflow.JobSpec) { s.ClosedLoop = true }},
+		{"poisson without rate", func(s *switchflow.JobSpec) { s.ServeEvery = 0; s.PoissonArrivals = true }},
+		{"serving without arrivals", func(s *switchflow.JobSpec) { s.ServeEvery = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := valid
+			tt.mutate(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatalf("spec %+v accepted", spec)
+			}
+			if !errors.Is(err, switchflow.ErrInvalidJobSpec) {
+				t.Fatalf("error %v does not wrap ErrInvalidJobSpec", err)
+			}
+		})
+	}
+}
+
+var allPolicies = []switchflow.Policy{
+	switchflow.PolicySwitchFlow,
+	switchflow.PolicyThreadedTF,
+	switchflow.PolicyTimeSlice,
+	switchflow.PolicyMPS,
+}
+
+// Every scheduler adapter — SwitchFlow and the three baselines — must
+// reject invalid specs through the same validation path.
+func TestAddJobValidatesOnEveryScheduler(t *testing.T) {
+	bad := []switchflow.JobSpec{
+		{Name: "b", Model: "ResNet50", Batch: 0, Train: true},
+		{Name: "m", Model: "NoSuchNet", Batch: 8, Train: true},
+		{Name: "g", Model: "ResNet50", Batch: 8, Train: true, GPU: 99},
+		{Name: "f", Model: "ResNet50", Batch: 8, Train: true, FallbackGPUs: []int{99}},
+		{Name: "c", Model: "ResNet50", Batch: 1, ClosedLoop: true, Saturated: true},
+	}
+	for _, policy := range allPolicies {
+		t.Run(policy.String(), func(t *testing.T) {
+			sim := switchflow.NewSimulation(switchflow.V100Server())
+			sched, err := sim.NewScheduler(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, spec := range bad {
+				if _, err := sched.AddJob(spec); !errors.Is(err, switchflow.ErrInvalidJobSpec) {
+					t.Errorf("%s: AddJob(%+v) = %v, want ErrInvalidJobSpec", policy, spec, err)
+				}
+			}
+		})
+	}
+}
+
+func TestNewSchedulerErrors(t *testing.T) {
+	sim := switchflow.NewSimulation(switchflow.V100Server())
+	if _, err := sim.NewScheduler(switchflow.Policy(42)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := sim.NewScheduler(switchflow.PolicySwitchFlow, switchflow.WithTempPoolThreads(0)); err == nil {
+		t.Error("zero temp pool threads accepted")
+	}
+	if _, err := sim.NewScheduler(switchflow.PolicySwitchFlow, switchflow.WithCheckpointEvery(-time.Second)); err == nil {
+		t.Error("negative checkpoint interval accepted")
+	}
+	if _, err := sim.NewScheduler(switchflow.PolicySwitchFlow, switchflow.WithFaultPlan(nil)); err == nil {
+		t.Error("nil fault plan accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[switchflow.Policy]string{
+		switchflow.PolicySwitchFlow: "switchflow",
+		switchflow.PolicyThreadedTF: "threaded-tf",
+		switchflow.PolicyTimeSlice:  "timeslice",
+		switchflow.PolicyMPS:        "mps",
+	}
+	for policy, name := range want {
+		sim := switchflow.NewSimulation(switchflow.V100Server())
+		sched, err := sim.NewScheduler(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if policy.String() != name || sched.Name() != name {
+			t.Errorf("policy %d: String()=%q Name()=%q, want %q",
+				int(policy), policy.String(), sched.Name(), name)
+		}
+	}
+}
+
+type runOutcome struct {
+	iters    int
+	requests int
+	p95      time.Duration
+	crashed  bool
+}
+
+func runCollocation(t *testing.T, build func(*switchflow.Simulation) switchflow.Scheduler) (runOutcome, runOutcome) {
+	t.Helper()
+	sim := switchflow.NewSimulation(switchflow.V100Server())
+	sched := build(sim)
+	serve, err := sched.AddJob(switchflow.JobSpec{
+		Name: "serve", Model: "ResNet50", Batch: 1, Priority: 2,
+		ServeEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := sched.AddJob(switchflow.JobSpec{
+		Name: "train", Model: "VGG16", Batch: 16, Train: true, Priority: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(10 * time.Second)
+	out := func(j *switchflow.Job) runOutcome {
+		return runOutcome{j.Iterations(), j.Requests(), j.P95Latency(), j.Crashed()}
+	}
+	return out(serve), out(train)
+}
+
+// The deprecated constructors are thin wrappers over NewScheduler; the
+// same scenario must produce identical results through either path.
+func TestDeprecatedConstructorsMatchNewScheduler(t *testing.T) {
+	old := map[switchflow.Policy]func(*switchflow.Simulation) switchflow.Scheduler{
+		switchflow.PolicySwitchFlow: func(s *switchflow.Simulation) switchflow.Scheduler { return s.SwitchFlow() },
+		switchflow.PolicyThreadedTF: func(s *switchflow.Simulation) switchflow.Scheduler { return s.ThreadedTF() },
+		switchflow.PolicyTimeSlice:  func(s *switchflow.Simulation) switchflow.Scheduler { return s.TimeSlice() },
+		switchflow.PolicyMPS:        func(s *switchflow.Simulation) switchflow.Scheduler { return s.MPS() },
+	}
+	for _, policy := range allPolicies {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			serveOld, trainOld := runCollocation(t, old[policy])
+			serveNew, trainNew := runCollocation(t, func(s *switchflow.Simulation) switchflow.Scheduler {
+				sched, err := s.NewScheduler(policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sched
+			})
+			if serveOld != serveNew || trainOld != trainNew {
+				t.Errorf("outcomes differ:\nold: serve=%+v train=%+v\nnew: serve=%+v train=%+v",
+					serveOld, trainOld, serveNew, trainNew)
+			}
+		})
+	}
+}
+
+// TestDeprecatedSwitchFlowOptionsMatchFunctionalOptions pins the legacy
+// SchedulerOptions struct to its functional-option translation.
+func TestDeprecatedSwitchFlowOptionsMatchFunctionalOptions(t *testing.T) {
+	legacy := switchflow.SchedulerOptions{TempPoolThreads: 2, SyncStateTransfer: true}
+	serveOld, trainOld := runCollocation(t, func(s *switchflow.Simulation) switchflow.Scheduler {
+		return s.SwitchFlow(legacy)
+	})
+	serveNew, trainNew := runCollocation(t, func(s *switchflow.Simulation) switchflow.Scheduler {
+		sched, err := s.NewScheduler(switchflow.PolicySwitchFlow,
+			switchflow.WithTempPoolThreads(2), switchflow.WithSyncStateTransfer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched
+	})
+	if serveOld != serveNew || trainOld != trainNew {
+		t.Errorf("outcomes differ:\nold: serve=%+v train=%+v\nnew: serve=%+v train=%+v",
+			serveOld, trainOld, serveNew, trainNew)
+	}
+}
+
+// TestFaultRecoveryAcceptance is the ISSUE's headline scenario: under an
+// injected GPU loss, SwitchFlow jobs with fallbacks migrate and keep
+// serving with bounded tails, while the process-model baseline reports
+// the jobs crashed.
+func TestFaultRecoveryAcceptance(t *testing.T) {
+	const (
+		lossAt  = 5 * time.Second
+		horizon = 20 * time.Second
+	)
+	runOne := func(policy switchflow.Policy) (*switchflow.Job, switchflow.Scheduler, *switchflow.Simulation) {
+		sim := switchflow.NewSimulation(switchflow.TwoGPUServer())
+		plan := switchflow.NewFaultPlan().LoseGPU(lossAt, 0)
+		sched, err := sim.NewScheduler(policy,
+			switchflow.WithFaultPlan(plan),
+			switchflow.WithCheckpointEvery(time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serve, err := sched.AddJob(switchflow.JobSpec{
+			Name: "serve", Model: "ResNet50", Batch: 1, Priority: 2,
+			GPU: 0, FallbackGPUs: []int{1},
+			ServeEvery: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.RunUntil(horizon)
+		return serve, sched, sim
+	}
+
+	serve, sched, _ := runOne(switchflow.PolicySwitchFlow)
+	if serve.Crashed() {
+		t.Fatalf("switchflow serving job crashed despite fallback: %v", serve.Err())
+	}
+	st := sched.FaultStats()
+	if st.DeviceLost != 1 || st.Migrations == 0 {
+		t.Errorf("switchflow stats = %+v, want the device loss and a migration", st)
+	}
+	if serve.Restarts() == 0 {
+		t.Errorf("serving job Restarts() = 0, want > 0 after fault-driven migration")
+	}
+	if st.JobsLost != 0 {
+		t.Errorf("switchflow lost %d jobs despite fallback", st.JobsLost)
+	}
+	// The job must keep serving after the loss: ~150 arrivals over 15s
+	// remain; require most of them, and a tail bounded well under the
+	// outage length.
+	if serve.Requests() < 150 {
+		t.Errorf("served %d requests, want >= 150 (kept serving after migration)", serve.Requests())
+	}
+	if p95 := serve.P95Latency(); p95 <= 0 || p95 > 2*time.Second {
+		t.Errorf("p95 = %v, want bounded (0, 2s]", p95)
+	}
+	sf := sched.(*switchflow.SwitchFlowScheduler)
+	if dev := sf.JobDeviceName(serve); dev != "gpu:1" {
+		t.Errorf("serving job on %s, want gpu:1 after migration", dev)
+	}
+	if sf.RecoveryP95() <= 0 {
+		t.Errorf("RecoveryP95() = %v, want > 0 after a recovery", sf.RecoveryP95())
+	}
+
+	serveTF, schedTF, _ := runOne(switchflow.PolicyThreadedTF)
+	if !serveTF.Crashed() {
+		t.Fatal("threaded-tf serving job survived a device loss")
+	}
+	if !errors.Is(serveTF.Err(), switchflow.ErrDeviceLost) {
+		t.Errorf("crash cause = %v, want ErrDeviceLost", serveTF.Err())
+	}
+	stTF := schedTF.FaultStats()
+	if stTF.JobsLost == 0 || stTF.Migrations != 0 || stTF.Restarts != 0 {
+		t.Errorf("threaded-tf stats = %+v, want lost jobs and no recovery", stTF)
+	}
+	if serveTF.Restarts() != 0 {
+		t.Errorf("baseline job Restarts() = %d, want 0", serveTF.Restarts())
+	}
+	if serveTF.Requests() >= serve.Requests() {
+		t.Errorf("threaded-tf served %d >= switchflow %d; the dead job should stop serving",
+			serveTF.Requests(), serve.Requests())
+	}
+}

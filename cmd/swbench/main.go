@@ -7,7 +7,7 @@
 //	swbench -exp f6 -requests 100
 //	swbench -exp f8 -iters 200
 //
-// Experiments: f2, f3, f6, f7, f8, f9, f10, t1, preempt, ablation, all.
+// Experiments: f2, f3, f6, f7, f8, f9, f10, t1, preempt, ablation, chaos, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,eager,fleet,ablation,all")
+		exp      = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,eager,fleet,ablation,chaos,all")
 		iters    = flag.Int("iters", 200, "iterations per measurement (figures 3, 8, 9, 10)")
 		requests = flag.Int("requests", 200, "inference requests per cell (figure 6, preempt, ablation)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for experiment sweeps (1 = serial)")
@@ -53,9 +53,10 @@ func run(exp string, iters, requests int) error {
 		"load":     func() { load(requests) },
 		"eager":    func() { eager() },
 		"fleet":    func() { fleet() },
+		"chaos":    func() { chaos() },
 	}
 	if exp == "all" {
-		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "eager", "fleet", "ablation"} {
+		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "eager", "fleet", "ablation", "chaos"} {
 			timed(id, all[id])
 		}
 		return nil
@@ -218,6 +219,21 @@ func eager() {
 		fmt.Printf("%-14s %6d %12.1f %12.1f %12.1f %9.2fx %9.2fx\n",
 			r.Model, r.Batch, r.EagerImgPS, r.StaticImgPS, r.FusedImgPS,
 			r.StaticSpeedX, r.FusedSpeedX)
+	}
+}
+
+func chaos() {
+	header("Chaos: fault injection and recovery (60s; GPU 0 lost at 20s + seeded transients/stalls)")
+	fmt.Printf("%-12s %5s %7s %8s %10s %7s %-8s %8s %6s %5s %5s %6s\n",
+		"scheduler", "seed", "faults", "served", "p95 ms", "alive", "device", "train-it", "lost", "migr", "rest", "roll")
+	for _, r := range experiments.Chaos([]int64{1, 2, 3}) {
+		dev := r.ServeDevice
+		if dev == "" {
+			dev = "-"
+		}
+		fmt.Printf("%-12s %5d %7d %8d %10.1f %7v %-8s %8d %6d %5d %5d %6d\n",
+			r.Scheduler, r.Seed, r.Injected, r.Served, r.ServeP95MS, r.ServeAlive, dev,
+			r.TrainIters, r.JobsLost, r.Migrations, r.Restarts, r.IterationsLost)
 	}
 }
 

@@ -31,13 +31,16 @@ func main() {
 		jobsFlag     = flag.String("jobs", "train:ResNet50:16:1", "comma-separated job specs")
 		window       = flag.Duration("for", 30*time.Second, "virtual time to run")
 		scenarioFlag = flag.String("scenario", "", "JSON scenario file (overrides the other flags)")
+		faultSeed    = flag.Int64("fault-seed", 0, "inject a seeded random fault mix (0 = none)")
+		loseGPU      = flag.String("lose-gpu", "", "inject a device loss, as gpu@time (e.g. 0@10s)")
+		ckptEvery    = flag.Duration("checkpoint-every", 0, "SwitchFlow host-checkpoint interval (0 = default)")
 	)
 	flag.Parse()
 	var err error
 	if *scenarioFlag != "" {
 		err = runScenario(*scenarioFlag)
 	} else {
-		err = run(*machineFlag, *schedFlag, *jobsFlag, *window)
+		err = run(*machineFlag, *schedFlag, *jobsFlag, *window, *faultSeed, *loseGPU, *ckptEvery)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swrun:", err)
@@ -45,25 +48,25 @@ func main() {
 	}
 }
 
-func run(machineName, schedName, jobsSpec string, window time.Duration) error {
+func run(machineName, schedName, jobsSpec string, window time.Duration,
+	faultSeed int64, loseGPU string, ckptEvery time.Duration) error {
 	spec, err := machineSpec(machineName)
 	if err != nil {
 		return err
 	}
 	sim := switchflow.NewSimulation(spec)
 
-	var sched switchflow.Scheduler
-	switch schedName {
-	case "switchflow":
-		sched = sim.SwitchFlow()
-	case "threaded":
-		sched = sim.ThreadedTF()
-	case "timeslice":
-		sched = sim.TimeSlice()
-	case "mps":
-		sched = sim.MPS()
-	default:
-		return fmt.Errorf("unknown scheduler %q", schedName)
+	policy, err := parsePolicy(schedName)
+	if err != nil {
+		return err
+	}
+	opts, err := faultOptions(sim, faultSeed, loseGPU, ckptEvery, window)
+	if err != nil {
+		return err
+	}
+	sched, err := sim.NewScheduler(policy, opts...)
+	if err != nil {
+		return err
 	}
 
 	var jobs []*switchflow.Job
@@ -71,6 +74,17 @@ func run(machineName, schedName, jobsSpec string, window time.Duration) error {
 		js, err := parseJob(strings.TrimSpace(one))
 		if err != nil {
 			return err
+		}
+		// Training jobs fall back to every other GPU on this machine, in
+		// index order, then the CPU. Under fault injection serving jobs
+		// get the same GPU fallbacks so SwitchFlow can migrate them off a
+		// lost device.
+		if js.Train || len(opts) > 0 {
+			for i := 0; i < sim.GPUCount(); i++ {
+				if i != js.GPU {
+					js.FallbackGPUs = append(js.FallbackGPUs, i)
+				}
+			}
 		}
 		job, err := sched.AddJob(js)
 		if err != nil {
@@ -98,7 +112,63 @@ func run(machineName, schedName, jobsSpec string, window time.Duration) error {
 		fmt.Printf("  preemptions=%d migrations=%d grant-p95=%v\n",
 			sf.Preemptions(), sf.Migrations(), sf.PreemptionP95().Round(time.Microsecond))
 	}
+	if st := sched.FaultStats(); st.Injected > 0 {
+		fmt.Printf("  faults=%d (lost-gpu=%d transient=%d stall=%d) jobs-lost=%d migrations=%d restarts=%d checkpoints=%d\n",
+			st.Injected, st.DeviceLost, st.Transients, st.InputStalls,
+			st.JobsLost, st.Migrations, st.Restarts, st.Checkpoints)
+	}
 	return nil
+}
+
+func parsePolicy(name string) (switchflow.Policy, error) {
+	switch name {
+	case "switchflow":
+		return switchflow.PolicySwitchFlow, nil
+	case "threaded":
+		return switchflow.PolicyThreadedTF, nil
+	case "timeslice":
+		return switchflow.PolicyTimeSlice, nil
+	case "mps":
+		return switchflow.PolicyMPS, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+// faultOptions builds the NewScheduler options for the fault flags; nil
+// when no fault injection was requested.
+func faultOptions(sim *switchflow.Simulation, seed int64, loseGPU string,
+	ckptEvery, window time.Duration) ([]switchflow.Option, error) {
+	var plan *switchflow.FaultPlan
+	if seed != 0 {
+		plan = switchflow.RandomFaultPlan(seed, window, sim.GPUCount())
+	}
+	if loseGPU != "" {
+		gpuStr, atStr, ok := strings.Cut(loseGPU, "@")
+		if !ok {
+			return nil, fmt.Errorf("-lose-gpu %q: want gpu@time, e.g. 0@10s", loseGPU)
+		}
+		gpu, err := strconv.Atoi(gpuStr)
+		if err != nil {
+			return nil, fmt.Errorf("-lose-gpu %q: bad gpu index", loseGPU)
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("-lose-gpu %q: bad time: %v", loseGPU, err)
+		}
+		if plan == nil {
+			plan = switchflow.NewFaultPlan()
+		}
+		plan.LoseGPU(at, gpu)
+	}
+	if plan == nil {
+		return nil, nil
+	}
+	opts := []switchflow.Option{switchflow.WithFaultPlan(plan)}
+	if ckptEvery > 0 {
+		opts = append(opts, switchflow.WithCheckpointEvery(ckptEvery))
+	}
+	return opts, nil
 }
 
 func machineSpec(name string) (switchflow.MachineSpec, error) {
@@ -151,11 +221,6 @@ func parseJob(s string) (switchflow.JobSpec, error) {
 	case "train":
 		spec.Train = true
 		spec.FallbackCPU = true
-		for i := 0; i < 4; i++ {
-			if i != gpu {
-				spec.FallbackGPUs = append(spec.FallbackGPUs, i)
-			}
-		}
 	case "serve":
 		spec.ClosedLoop = true
 	case "infer":

@@ -53,7 +53,10 @@ func trialSpecs() []switchflow.JobSpec {
 
 func sharedInput() (time.Duration, error) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		return 0, err
+	}
 	group, err := sched.AddSharedGroup(trialSpecs())
 	if err != nil {
 		return 0, err
@@ -71,7 +74,10 @@ func sharedInput() (time.Duration, error) {
 
 func timeSliced() (time.Duration, error) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.TimeSlice()
+	sched, err := sim.NewScheduler(switchflow.PolicyTimeSlice)
+	if err != nil {
+		return 0, err
+	}
 	var jobs []*switchflow.Job
 	for _, spec := range trialSpecs() {
 		job, err := sched.AddJob(spec)

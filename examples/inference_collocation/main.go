@@ -22,15 +22,11 @@ func run() error {
 	fmt.Println("inference: ResNet50 BS=1, closed-loop, 60 requests per cell")
 	fmt.Printf("%-14s %12s %12s %9s\n", "background", "tf p95", "sf p95", "speedup")
 	for _, bg := range backgrounds {
-		tf, err := measure(bg, func(s *switchflow.Simulation) switchflow.Scheduler {
-			return s.ThreadedTF()
-		})
+		tf, err := measure(bg, switchflow.PolicyThreadedTF)
 		if err != nil {
 			return err
 		}
-		sf, err := measure(bg, func(s *switchflow.Simulation) switchflow.Scheduler {
-			return s.SwitchFlow()
-		})
+		sf, err := measure(bg, switchflow.PolicySwitchFlow)
 		if err != nil {
 			return err
 		}
@@ -44,9 +40,12 @@ func run() error {
 	return nil
 }
 
-func measure(background string, build func(*switchflow.Simulation) switchflow.Scheduler) (time.Duration, error) {
+func measure(background string, policy switchflow.Policy) (time.Duration, error) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := build(sim)
+	sched, err := sim.NewScheduler(policy)
+	if err != nil {
+		return 0, err
+	}
 	if _, err := sched.AddJob(switchflow.JobSpec{
 		Name: "train", Model: background, Batch: 32, Train: true, Priority: 1,
 	}); err != nil {

@@ -37,7 +37,10 @@ func run() error {
 		sharing.Enabled, sharing.MasterX, sharing.MasterY, sharing.SubX, sharing.Models())
 
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		return err
+	}
 
 	// graph_00 (master) and graph_01 (secondary) — two ResNet50s trained
 	// on the same input batches, like the paper's multi-task setup.

@@ -49,7 +49,10 @@ func jobSpecs() []switchflow.JobSpec {
 
 func timeSliced() (time.Duration, error) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.TimeSlice()
+	sched, err := sim.NewScheduler(switchflow.PolicyTimeSlice)
+	if err != nil {
+		return 0, err
+	}
 	jobs := make([]*switchflow.Job, 0, 2)
 	for _, spec := range jobSpecs() {
 		job, err := sched.AddJob(spec)
@@ -66,7 +69,10 @@ func timeSliced() (time.Duration, error) {
 
 func sharedInput() (time.Duration, error) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		return 0, err
+	}
 	group, err := sched.AddSharedGroup(jobSpecs())
 	if err != nil {
 		return 0, err

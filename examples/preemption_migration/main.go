@@ -21,7 +21,10 @@ func main() {
 
 func run() error {
 	sim := switchflow.NewSimulation(switchflow.TwoGPUServer())
-	sched := sim.SwitchFlow()
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		return err
+	}
 
 	low, err := sched.AddJob(switchflow.JobSpec{
 		Name:         "resnet50-low",

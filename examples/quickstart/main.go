@@ -19,7 +19,10 @@ func main() {
 
 func run() error {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		return err
+	}
 
 	train, err := sched.AddJob(switchflow.JobSpec{
 		Name:     "vgg16-train",

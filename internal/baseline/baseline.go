@@ -9,6 +9,7 @@ package baseline
 
 import (
 	"fmt"
+	"time"
 
 	"switchflow/internal/device"
 	"switchflow/internal/executor"
@@ -24,6 +25,8 @@ type runtime struct {
 	machine *device.Machine
 	pool    *threadpool.Pool
 	ctxSeq  int
+	// stallUntil gates input-stage starts during an injected input stall.
+	stallUntil time.Duration
 }
 
 func newRuntime(eng *sim.Engine, machine *device.Machine) runtime {

@@ -1,0 +1,199 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/fault"
+	"switchflow/internal/metrics"
+	"switchflow/internal/workload"
+)
+
+// Baseline fault semantics (§5.2 contrast): the baselines have TF's
+// process model and no placement indirection, so a lost device kills
+// every process on it and a transient kernel/ECC error kills the process
+// whose kernel it corrupted — there is no migration and no checkpoint
+// restart. Input stalls gate new input-stage launches, same as
+// SwitchFlow (the stall is in the storage layer, not the scheduler).
+
+var (
+	_ fault.Handler = (*ThreadedTF)(nil)
+	_ fault.Handler = (*TimeSlice)(nil)
+	_ fault.Handler = (*MPS)(nil)
+)
+
+// stalled reports whether an injected input stall is in force.
+func (rt *runtime) stalled() bool { return rt.eng.Now() < rt.stallUntil }
+
+// stallInputs extends the stall window and schedules resume at its end
+// (skipped when a longer stall supersedes this one).
+func (rt *runtime) stallInputs(d time.Duration, resume func()) {
+	until := rt.eng.Now() + d
+	if until <= rt.stallUntil {
+		return
+	}
+	rt.stallUntil = until
+	rt.eng.Schedule(until, func() {
+		if rt.stalled() {
+			return
+		}
+		resume()
+	})
+}
+
+// loseDevice crashes a process-model job on a lost device. The device's
+// memory pool was invalidated wholesale, so accounting is dropped, not
+// freed.
+func loseDevice(j *workload.Job, name string, dev device.ID) {
+	j.ForgetDevice(dev)
+	j.Crash(fmt.Errorf("%s: %s: %w (%v)", name, j.Cfg.Name, fault.ErrDeviceLost, dev))
+}
+
+// HandleFault implements fault.Handler: device loss and transient errors
+// kill the affected jobs outright.
+func (s *ThreadedTF) HandleFault(ev fault.Event) {
+	s.faults.Injected++
+	switch ev.Kind {
+	case fault.KindDeviceLost:
+		s.faults.DeviceLost++
+		for _, tj := range s.jobs {
+			tj.job.ForgetDevice(ev.Device)
+			if tj.stopped || tj.job.Crashed() || tj.dev != ev.Device {
+				continue
+			}
+			loseDevice(tj.job, "threaded-tf", ev.Device)
+			s.faults.JobsLost++
+		}
+	case fault.KindTransient:
+		s.faults.Transients++
+		if tj := transientVictim(s.jobs, ev.Device); tj != nil {
+			s.rt.crashJob(tj.job, tj.dev, fault.ErrTransient)
+			s.faults.JobsLost++
+		}
+	case fault.KindInputStall:
+		s.faults.InputStalls++
+		s.rt.stallInputs(ev.Duration, func() {
+			for _, tj := range s.jobs {
+				s.pump(tj)
+			}
+		})
+	case fault.KindDegraded:
+		// Hardware effect only.
+	}
+}
+
+// FaultStats returns the fault and job-loss counters.
+func (s *ThreadedTF) FaultStats() metrics.FaultCounters { return s.faults }
+
+// HandleFault implements fault.Handler.
+func (s *TimeSlice) HandleFault(ev fault.Event) {
+	s.faults.Injected++
+	switch ev.Kind {
+	case fault.KindDeviceLost:
+		s.faults.DeviceLost++
+		for _, sj := range s.jobs {
+			sj.job.ForgetDevice(ev.Device)
+			if sj.stopped || sj.job.Crashed() || sj.dev != ev.Device {
+				continue
+			}
+			loseDevice(sj.job, "time-slice", ev.Device)
+			s.faults.JobsLost++
+		}
+		// The active session's kernels were dropped with the device, so its
+		// completion callback will never fire; force-release the machine
+		// lock or every surviving job hangs behind a dead session.
+		if s.lockHeld && s.active != nil && s.active.dev == ev.Device {
+			s.sessionSeq++
+			s.lockHeld = false
+			s.active = nil
+			s.rt.eng.After(0, s.pump)
+		}
+	case fault.KindTransient:
+		s.faults.Transients++
+		if sj := transientVictimSliced(s.jobs, ev.Device); sj != nil {
+			s.rt.crashJob(sj.job, sj.dev, fault.ErrTransient)
+			s.faults.JobsLost++
+			// The in-flight kernels complete on the (healthy) device and the
+			// session releases through its normal callback.
+		}
+	case fault.KindInputStall:
+		s.faults.InputStalls++
+		s.rt.stallInputs(ev.Duration, s.pump)
+	case fault.KindDegraded:
+	}
+}
+
+// FaultStats returns the fault and job-loss counters.
+func (s *TimeSlice) FaultStats() metrics.FaultCounters { return s.faults }
+
+// HandleFault implements fault.Handler. MPS adds reservation cleanup: a
+// dead process's headroom reservation is dropped with the device (loss)
+// or returned to the pool (transient — the device is healthy).
+func (s *MPS) HandleFault(ev fault.Event) {
+	s.faults.Injected++
+	switch ev.Kind {
+	case fault.KindDeviceLost:
+		s.faults.DeviceLost++
+		for _, tj := range s.jobs {
+			tj.job.ForgetDevice(ev.Device)
+			if tj.dev == ev.Device {
+				delete(s.headroom, tj.job)
+			}
+			if tj.stopped || tj.job.Crashed() || tj.dev != ev.Device {
+				continue
+			}
+			loseDevice(tj.job, "mps", ev.Device)
+			s.faults.JobsLost++
+		}
+	case fault.KindTransient:
+		s.faults.Transients++
+		if tj := transientVictim(s.jobs, ev.Device); tj != nil {
+			s.rt.crashJob(tj.job, tj.dev, fault.ErrTransient)
+			if slack := s.headroom[tj.job]; slack > 0 && tj.dev.Kind == device.KindGPU {
+				s.rt.machine.GPU(tj.dev.Index).Mem.Free(slack)
+			}
+			delete(s.headroom, tj.job)
+			s.faults.JobsLost++
+		}
+	case fault.KindInputStall:
+		s.faults.InputStalls++
+		s.rt.stallInputs(ev.Duration, func() {
+			for _, tj := range s.jobs {
+				s.pump(tj)
+			}
+		})
+	case fault.KindDegraded:
+	}
+}
+
+// FaultStats returns the fault and job-loss counters.
+func (s *MPS) FaultStats() metrics.FaultCounters { return s.faults }
+
+// transientVictim picks the job the fault corrupts: the first job
+// (admission order, deterministic) computing on dev, or with state
+// resident there — ECC errors strike resident memory, not only running
+// kernels.
+func transientVictim(jobs []*threadedJob, dev device.ID) *threadedJob {
+	for _, tj := range jobs {
+		if tj.stopped || tj.job.Crashed() || tj.dev != dev {
+			continue
+		}
+		if tj.job.ComputeRunning || tj.job.WeightsOn(dev) {
+			return tj
+		}
+	}
+	return nil
+}
+
+func transientVictimSliced(jobs []*slicedJob, dev device.ID) *slicedJob {
+	for _, sj := range jobs {
+		if sj.stopped || sj.job.Crashed() || sj.dev != dev {
+			continue
+		}
+		if sj.job.ComputeRunning || sj.job.WeightsOn(dev) {
+			return sj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/fault"
+)
+
+func TestThreadedTFLosesJobsOnDeviceLoss(t *testing.T) {
+	eng, machine := newMachine(device.ClassV100, device.ClassV100)
+	s := NewThreadedTF(eng, machine)
+	victim, _ := s.AddJob(trainCfg(t, "victim", "ResNet50", 16, device.GPUID(0)))
+	bystander, _ := s.AddJob(trainCfg(t, "bystander", "ResNet50", 16, device.GPUID(1)))
+	var p fault.Plan
+	p.LoseGPU(3*time.Second, 0)
+	in := fault.NewInjector(eng, machine, p)
+	in.Attach(s)
+	in.Arm()
+
+	eng.RunUntil(10 * time.Second)
+	if !victim.Crashed() || !errors.Is(victim.CrashErr, fault.ErrDeviceLost) {
+		t.Fatalf("victim should die with the device, got crashed=%v err=%v",
+			victim.Crashed(), victim.CrashErr)
+	}
+	if bystander.Crashed() {
+		t.Fatalf("job on the surviving GPU crashed: %v", bystander.CrashErr)
+	}
+	if victim.Restarts != 0 {
+		t.Fatalf("baseline job restarted %d times; baselines have no recovery", victim.Restarts)
+	}
+	st := s.FaultStats()
+	if st.DeviceLost != 1 || st.JobsLost != 1 {
+		t.Fatalf("fault stats = %+v", st)
+	}
+}
+
+func TestThreadedTFTransientKillsComputingJob(t *testing.T) {
+	eng, machine := newMachine(device.ClassV100)
+	s := NewThreadedTF(eng, machine)
+	job, _ := s.AddJob(trainCfg(t, "job", "ResNet50", 16, device.GPUID(0)))
+	var p fault.Plan
+	p.Transient(3*time.Second, 0)
+	in := fault.NewInjector(eng, machine, p)
+	in.Attach(s)
+	in.Arm()
+
+	eng.RunUntil(10 * time.Second)
+	if !job.Crashed() || !errors.Is(job.CrashErr, fault.ErrTransient) {
+		t.Fatalf("transient should kill the baseline process, got crashed=%v err=%v",
+			job.Crashed(), job.CrashErr)
+	}
+	if got := machine.GPU(0).Mem.Used(); got != 0 {
+		t.Fatalf("dead process left %d bytes reserved on a healthy device", got)
+	}
+}
+
+func TestTimeSliceReleasesLockWhenActiveSessionDies(t *testing.T) {
+	eng, machine := newMachine(device.ClassV100, device.ClassV100)
+	s := NewTimeSlice(eng, machine)
+	a, _ := s.AddJob(trainCfg(t, "a", "ResNet50", 16, device.GPUID(0)))
+	b, _ := s.AddJob(trainCfg(t, "b", "ResNet50", 16, device.GPUID(1)))
+	var p fault.Plan
+	p.LoseGPU(3*time.Second, 0)
+	in := fault.NewInjector(eng, machine, p)
+	in.Attach(s)
+	in.Arm()
+
+	eng.RunUntil(3*time.Second + time.Millisecond)
+	atLoss := b.Iterations
+	eng.RunUntil(20 * time.Second)
+	if !a.Crashed() {
+		t.Fatal("job on the lost device survived")
+	}
+	if b.Crashed() {
+		t.Fatalf("survivor crashed: %v", b.CrashErr)
+	}
+	// The survivor must keep getting sessions: a dead active session on the
+	// lost device would otherwise hold the machine lock forever.
+	if b.Iterations <= atLoss {
+		t.Fatalf("survivor starved after device loss: %d iterations then, %d now",
+			atLoss, b.Iterations)
+	}
+}
+
+func TestMPSDeviceLossDropsReservations(t *testing.T) {
+	eng, machine := newMachine(device.ClassV100)
+	s := NewMPS(eng, machine)
+	job, _ := s.AddJob(trainCfg(t, "job", "ResNet50", 16, device.GPUID(0)))
+	var p fault.Plan
+	p.LoseGPU(3*time.Second, 0)
+	in := fault.NewInjector(eng, machine, p)
+	in.Attach(s)
+	in.Arm()
+
+	eng.RunUntil(10 * time.Second)
+	if !job.Crashed() || !errors.Is(job.CrashErr, fault.ErrDeviceLost) {
+		t.Fatalf("MPS process should die with the device, got %v", job.CrashErr)
+	}
+	if len(s.headroom) != 0 {
+		t.Fatalf("%d headroom reservations left after device loss", len(s.headroom))
+	}
+	if got := machine.GPU(0).Mem.Used(); got != 0 {
+		t.Fatalf("invalidated pool reports %d bytes used", got)
+	}
+}
+
+func TestBaselineInputStallPausesPrefetch(t *testing.T) {
+	eng, machine := newMachine(device.ClassV100)
+	s := NewThreadedTF(eng, machine)
+	job, _ := s.AddJob(trainCfg(t, "job", "ResNet50", 16, device.GPUID(0)))
+	var p fault.Plan
+	p.StallInputs(2*time.Second, 3*time.Second)
+	in := fault.NewInjector(eng, machine, p)
+	in.Attach(s)
+	in.Arm()
+
+	eng.RunUntil(10 * time.Second)
+	if job.Crashed() {
+		t.Fatalf("job crashed during stall: %v", job.CrashErr)
+	}
+	if s.FaultStats().InputStalls != 1 {
+		t.Fatalf("fault stats = %+v", s.FaultStats())
+	}
+	if job.Iterations == 0 {
+		t.Fatal("job never resumed after the stall")
+	}
+}

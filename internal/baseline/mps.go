@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"switchflow/internal/device"
+	"switchflow/internal/metrics"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -19,6 +20,7 @@ type MPS struct {
 	rt       runtime
 	jobs     []*threadedJob
 	headroom map[*workload.Job]int64
+	faults   metrics.FaultCounters
 }
 
 // mpsAllocatorHeadroom scales the per-process intermediate reservation:
@@ -88,7 +90,7 @@ func (s *MPS) pump(tj *threadedJob) {
 	if tj.stopped || tj.job.Crashed() {
 		return
 	}
-	for tj.job.CanStartInput() {
+	for !s.rt.stalled() && tj.job.CanStartInput() {
 		s.rt.runInput(tj.job, tj.dev, func() { s.pump(tj) })
 		if tj.job.Crashed() {
 			return

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"switchflow/internal/device"
+	"switchflow/internal/metrics"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -12,8 +13,9 @@ import (
 // and memory is allocated on demand, so collocated jobs can die of OOM
 // mid-training (Figure 7 a-b).
 type ThreadedTF struct {
-	rt   runtime
-	jobs []*threadedJob
+	rt     runtime
+	jobs   []*threadedJob
+	faults metrics.FaultCounters
 }
 
 type threadedJob struct {
@@ -63,7 +65,7 @@ func (s *ThreadedTF) pump(tj *threadedJob) {
 	if tj.stopped || tj.job.Crashed() {
 		return
 	}
-	for tj.job.CanStartInput() {
+	for !s.rt.stalled() && tj.job.CanStartInput() {
 		s.rt.runInput(tj.job, tj.dev, func() { s.pump(tj) })
 		if tj.job.Crashed() {
 			return

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"switchflow/internal/device"
+	"switchflow/internal/metrics"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -17,6 +18,11 @@ type TimeSlice struct {
 	jobs     []*slicedJob
 	next     int
 	lockHeld bool
+	// active is the session holder; sessionSeq invalidates a session's
+	// release callback after a fault force-releases the machine lock.
+	active     *slicedJob
+	sessionSeq int
+	faults     metrics.FaultCounters
 }
 
 type slicedJob struct {
@@ -78,7 +84,12 @@ func (s *TimeSlice) pickNext() *slicedJob {
 		if sj.stopped || sj.job.Crashed() {
 			continue
 		}
-		if sj.job.HasWork() || sj.job.CanStartInput() {
+		// During an input stall only jobs with an already-staged input can
+		// use the machine; granting a session to one that must run its
+		// input stage first would spin at the same instant.
+		runnable := sj.job.InputAvailable() ||
+			(!s.rt.stalled() && (sj.job.HasWork() || sj.job.CanStartInput()))
+		if runnable {
 			s.next = (s.next + i + 1) % len(s.jobs)
 			return sj
 		}
@@ -87,8 +98,15 @@ func (s *TimeSlice) pickNext() *slicedJob {
 }
 
 func (s *TimeSlice) runSession(sj *slicedJob) {
+	s.active = sj
+	s.sessionSeq++
+	seq := s.sessionSeq
 	release := func() {
+		if s.sessionSeq != seq {
+			return // the session was force-released by a device loss
+		}
 		s.lockHeld = false
+		s.active = nil
 		s.pump()
 	}
 	if sj.job.InputAvailable() {
@@ -97,7 +115,7 @@ func (s *TimeSlice) runSession(sj *slicedJob) {
 		s.rt.runCompute(sj.job, sj.dev, release)
 		return
 	}
-	if !sj.job.CanStartInput() {
+	if !sj.job.CanStartInput() || s.rt.stalled() {
 		release()
 		return
 	}

@@ -174,9 +174,14 @@ func (c *Cluster) tryPlace(h *JobHandle) bool {
 	return true
 }
 
-// freeWeightBytes estimates the admissible persistent state on a GPU.
+// freeWeightBytes estimates the admissible persistent state on a GPU; a
+// failed GPU admits nothing.
 func freeWeightBytes(n *Node, gpu int) int64 {
-	return n.machine.GPU(gpu).Mem.Available()
+	g := n.machine.GPU(gpu)
+	if g.Failed() {
+		return -1
+	}
+	return g.Mem.Available()
 }
 
 // weightsNeeded returns the job's persistent-state demand.

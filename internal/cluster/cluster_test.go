@@ -163,3 +163,35 @@ func TestClusterJobsRunIndependentlyPerNode(t *testing.T) {
 		t.Fatalf("identical jobs diverged: %d vs %d", a.Job.Iterations, b.Job.Iterations)
 	}
 }
+
+func TestPlacementSkipsFailedGPUs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, FirstFit{}, 2, device.ClassV100, device.ClassV100)
+	// Take down node0's first GPU before any placement.
+	c.Nodes()[0].Machine().GPU(0).Fail()
+	h := c.Submit(0, trainCfg(t, "a", "ResNet50"))
+	eng.RunUntil(time.Second)
+	if !h.Placed {
+		t.Fatal("job not placed despite three healthy GPUs")
+	}
+	if h.Where.String() == "node0/gpu:0" {
+		t.Fatalf("placed on the failed GPU: %v", h.Where)
+	}
+	if h.Where.String() != "node0/gpu:1" {
+		t.Fatalf("placement %v, want node0/gpu:1 (first healthy fit)", h.Where)
+	}
+}
+
+func TestAllGPUsFailedQueuesJobs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, LeastLoaded{}, 1, device.ClassV100)
+	c.Nodes()[0].Machine().GPU(0).Fail()
+	h := c.Submit(0, serveCfg(t, "s", "ResNet50"))
+	eng.RunUntil(time.Second)
+	if h.Placed {
+		t.Fatalf("placed on a dead fleet: %v", h.Where)
+	}
+	if c.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1", c.Queued())
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/fault"
+)
+
+// This file is SwitchFlow's self-healing path (§3.4, §5.2 under induced
+// faults): the manager implements fault.Handler, reacting to device loss
+// by migrating victims through their configured Fallbacks with state
+// restored from host checkpoints, to transient kernel/ECC errors by
+// crash-and-restart with exponential backoff, and to input stalls by
+// pausing the input pipelines while compute drains prefetched batches.
+
+var _ fault.Handler = (*Manager)(nil)
+
+// HandleFault implements fault.Handler. The injector has already applied
+// the hardware effect (a lost GPU is failed and its memory invalidated)
+// when this runs.
+func (m *Manager) HandleFault(ev fault.Event) {
+	m.Faults.Injected++
+	switch ev.Kind {
+	case fault.KindDeviceLost:
+		m.Faults.DeviceLost++
+		m.handleDeviceLost(ev.Device)
+	case fault.KindTransient:
+		m.Faults.Transients++
+		m.handleTransient(ev.Device)
+	case fault.KindInputStall:
+		m.Faults.InputStalls++
+		m.handleInputStall(ev.Duration)
+	case fault.KindDegraded:
+		// Hardware effect only: kernels on the device run slower until it
+		// heals; no job state is at risk.
+	}
+}
+
+// handleDeviceLost migrates every job on the lost device to a healthy
+// fallback, restoring weights from the host checkpoint (the device copy
+// is gone, so the cheap peer path of §3.3 is unavailable). Jobs without
+// a viable fallback crash — even SwitchFlow cannot run a job with
+// nowhere to put it.
+func (m *Manager) handleDeviceLost(dev device.ID) {
+	if dev.Kind != device.KindGPU || dev.Index >= len(m.machine.GPUs) {
+		return
+	}
+	// The arbiter's grant queue only ever holds jobs whose current device
+	// is this GPU; every one of them is about to be migrated or crashed,
+	// so the whole arbiter resets.
+	m.arbs[dev.Index] = &arbiter{}
+	faultAt := m.eng.Now()
+	for _, js := range m.jobs {
+		// Any job may hold stale weight bytes on the lost device (e.g. a
+		// migration source not yet freed); the pool was invalidated
+		// wholesale, so drop the accounting rather than double-freeing.
+		js.job.ForgetDevice(dev)
+		if js.stopped || js.job.Crashed() || js.current != dev {
+			continue
+		}
+		js.epoch++
+		if js.computeRun != nil {
+			js.computeRun.Discard()
+			js.computeRun = nil
+		}
+		if js.job.ComputeRunning {
+			js.job.AbandonCompute()
+		}
+		js.holding, js.waiting, js.preempting = false, false, false
+		js.restoring, js.restarting = false, false
+		js.checkpointRequested = false
+
+		to, ok := m.pickRecoveryTarget(js, dev)
+		if !ok {
+			js.job.Crash(fmt.Errorf("core: %s: %w (%v, no healthy fallback)",
+				js.job.Cfg.Name, fault.ErrDeviceLost, dev))
+			m.Faults.JobsLost++
+			continue
+		}
+		m.Faults.Migrations++
+		m.Migrations++
+		js.job.Restarted()
+		m.Faults.Restarts++
+		m.Faults.IterationsLost += js.job.RollbackToCheckpoint()
+		js.current = to
+		if js.checkpointed {
+			// Gandiva-mode job already checkpointed out to host memory; the
+			// normal restore path rebuilds it on the new device.
+			m.pump(js)
+			continue
+		}
+		m.restoreFromHost(js, faultAt)
+	}
+}
+
+// pickRecoveryTarget chooses the first healthy configured fallback with
+// room for the job's weights. Unlike preemption's pickFallback it ignores
+// who currently owns the target — surviving beats avoiding contention.
+func (m *Manager) pickRecoveryTarget(js *jobState, lost device.ID) (device.ID, bool) {
+	for _, dev := range js.job.Cfg.Fallbacks {
+		if dev == lost || !m.machine.Healthy(dev) {
+			continue
+		}
+		if dev.Kind == device.KindGPU {
+			gpu := m.machine.GPU(dev.Index)
+			if gpu == nil || gpu.Mem.Available() < js.job.WeightBytes() {
+				continue
+			}
+		}
+		return dev, true
+	}
+	return device.ID{}, false
+}
+
+// restoreFromHost rebuilds a job's state on js.current from the host
+// checkpoint: allocate weights, pay the H2D transfer (free for CPU
+// placements — host state is already in host memory), then resume.
+func (m *Manager) restoreFromHost(js *jobState, faultAt time.Duration) {
+	if _, err := js.job.Version(js.current); err != nil {
+		js.job.Crash(err)
+		m.Faults.JobsLost++
+		return
+	}
+	if err := js.job.AllocWeights(js.current); err != nil {
+		js.job.Crash(fmt.Errorf("core: restore %s: %w", js.job.Cfg.Name, err))
+		m.Faults.JobsLost++
+		return
+	}
+	js.weightsReady = false
+	epoch := js.epoch
+	finish := func() {
+		if js.epoch != epoch || js.stopped || js.job.Crashed() {
+			return
+		}
+		js.weightsReady = true
+		if js.current.Kind == device.KindGPU {
+			js.inTempPool = false
+		}
+		m.RecoveryLatencies.Add(m.eng.Now() - faultAt)
+		m.pump(js)
+	}
+	if js.current.Kind != device.KindGPU {
+		m.eng.After(0, finish)
+		return
+	}
+	h2d := m.machine.HostToDevice(js.current.Index)
+	h2d.Transfer(js.job.WeightBytes(), js.job.Cfg.Model.WeightVars(), finish)
+}
+
+// handleTransient restarts the job computing on dev from its last
+// checkpoint: the in-flight iteration is corrupted and discarded, the
+// job backs off exponentially in virtual time, reloads its weights from
+// the host checkpoint (ECC faults taint device state), and resumes. The
+// hardware itself stays usable, so no migration happens.
+func (m *Manager) handleTransient(dev device.ID) {
+	js := m.transientVictim(dev)
+	if js == nil {
+		return
+	}
+	js.epoch++
+	if js.computeRun != nil {
+		js.computeRun.Discard()
+		js.computeRun = nil
+	}
+	if js.job.ComputeRunning {
+		js.job.AbandonCompute()
+	}
+	js.job.FreeIntermediate(dev)
+	m.purgeRequests(js)
+	m.releaseFrom(js)
+	js.preempting = false
+	js.restarting = true
+	js.job.Restarted()
+	m.Faults.Restarts++
+	m.Faults.IterationsLost += js.job.RollbackToCheckpoint()
+	backoff := js.job.NextRestartBackoff()
+	faultAt := m.eng.Now()
+	epoch := js.epoch
+	m.eng.After(backoff, func() {
+		if js.epoch != epoch || js.stopped || js.job.Crashed() {
+			return
+		}
+		finish := func() {
+			if js.epoch != epoch || js.stopped || js.job.Crashed() {
+				return
+			}
+			js.restarting = false
+			m.RecoveryLatencies.Add(m.eng.Now() - faultAt)
+			m.pump(js)
+		}
+		if js.current.Kind == device.KindGPU && m.machine.Healthy(js.current) {
+			h2d := m.machine.HostToDevice(js.current.Index)
+			h2d.Transfer(js.job.WeightBytes(), js.job.Cfg.Model.WeightVars(), finish)
+			return
+		}
+		finish()
+	})
+}
+
+// transientVictim picks the job the fault hits: the device's current
+// owner, else the first job with state exposed there — computing, or
+// merely resident (an ECC error corrupts resident memory just as well as
+// a running kernel). Admission order keeps the choice deterministic.
+func (m *Manager) transientVictim(dev device.ID) *jobState {
+	if dev.Kind == device.KindGPU {
+		if arb, ok := m.arbs[dev.Index]; ok && arb.owner != nil &&
+			!arb.owner.stopped && !arb.owner.job.Crashed() && !arb.owner.restarting {
+			return arb.owner
+		}
+	}
+	for _, js := range m.jobs {
+		if js.stopped || js.job.Crashed() || js.restarting || js.current != dev {
+			continue
+		}
+		if js.job.ComputeRunning || js.computeRun != nil || js.job.WeightsOn(dev) {
+			return js
+		}
+	}
+	return nil
+}
+
+// purgeRequests removes a job's pending grant requests from every
+// arbiter so a grant cannot fire into a restarting job and stall the
+// device for the backoff window.
+func (m *Manager) purgeRequests(js *jobState) {
+	if !js.waiting {
+		return
+	}
+	for _, arb := range m.arbs {
+		kept := arb.queue[:0]
+		for _, req := range arb.queue {
+			if req.js != js {
+				kept = append(kept, req)
+			}
+		}
+		for i := len(kept); i < len(arb.queue); i++ {
+			arb.queue[i] = nil
+		}
+		arb.queue = kept
+	}
+	js.waiting = false
+}
+
+// scheduleCheckpoint arms the next periodic host checkpoint for a
+// training job (Options.CheckpointEvery).
+func (m *Manager) scheduleCheckpoint(js *jobState) {
+	m.eng.After(m.opts.CheckpointEvery, func() { m.takeCheckpoint(js) })
+}
+
+// takeCheckpoint snapshots the job's persistent state to host memory,
+// paying the D2H transfer when the state lives on a healthy GPU. The
+// snapshot is durable (RecordCheckpoint) once the transfer lands; faults
+// striking mid-transfer leave the previous checkpoint in force.
+func (m *Manager) takeCheckpoint(js *jobState) {
+	if js.stopped || js.job.Crashed() {
+		return
+	}
+	bytes := js.job.CheckpointBytes()
+	onGPU := js.current.Kind == device.KindGPU && m.machine.Healthy(js.current) &&
+		!js.checkpointed && js.weightsReady
+	if bytes == 0 || !onGPU {
+		// State already host-resident (CPU placement, Gandiva checkpoint-out,
+		// or mid-restore) — the snapshot is free.
+		js.job.RecordCheckpoint()
+		m.Faults.Checkpoints++
+		m.scheduleCheckpoint(js)
+		return
+	}
+	d2h := m.machine.DeviceToHost(js.current.Index)
+	epoch := js.epoch
+	d2h.Transfer(bytes, js.job.Cfg.Model.WeightVars(), func() {
+		if js.stopped || js.job.Crashed() {
+			return
+		}
+		if js.epoch == epoch {
+			js.job.RecordCheckpoint()
+			m.Faults.Checkpoints++
+		}
+		m.scheduleCheckpoint(js)
+	})
+}
+
+// handleInputStall pauses every job's input pipeline until the stall
+// window passes; compute keeps draining already-prefetched batches
+// (invariant 2 in reverse — the GPU stays busy while the CPU side is
+// starved). Overlapping stalls extend the window.
+func (m *Manager) handleInputStall(d time.Duration) {
+	until := m.eng.Now() + d
+	if until <= m.stallUntil {
+		return
+	}
+	m.stallUntil = until
+	m.eng.Schedule(until, func() {
+		if m.eng.Now() < m.stallUntil {
+			return // a longer stall superseded this one
+		}
+		for _, js := range m.jobs {
+			m.pump(js)
+		}
+	})
+}

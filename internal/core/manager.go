@@ -44,6 +44,11 @@ type Options struct {
 	// it before running again — putting hundreds of MiB of transfer on
 	// the preemption critical path.
 	CheckpointPreemption bool
+	// CheckpointEvery, when positive, snapshots every training job's
+	// persistent state to host memory at this period (paying the D2H
+	// transfer). Fault recovery rolls jobs back to the last snapshot;
+	// without snapshots a recovered job restarts from iteration zero.
+	CheckpointEvery time.Duration
 }
 
 // Manager is the SwitchFlow session manager.
@@ -61,6 +66,8 @@ type Manager struct {
 	// per-manager, not package-level, so concurrent experiment cells never
 	// share it (and one cell's request order can never leak into another).
 	grantSeq int
+	// stallUntil gates input-stage starts during an injected input stall.
+	stallUntil time.Duration
 
 	// PreemptionLatencies records request-to-grant times for preemptive
 	// acquisitions (§5.2.3).
@@ -69,6 +76,11 @@ type Manager struct {
 	Preemptions int
 	// Migrations counts device migrations.
 	Migrations int
+	// Faults accumulates fault-injection and recovery counters.
+	Faults metrics.FaultCounters
+	// RecoveryLatencies records fault-to-serving-again times for recovered
+	// jobs (device-lost migrations and transient restarts).
+	RecoveryLatencies metrics.Latency
 }
 
 type jobState struct {
@@ -87,6 +99,12 @@ type jobState struct {
 	checkpointRequested bool
 	checkpointed        bool
 	restoring           bool
+
+	// Fault-recovery state: restarting gates the pump during a restart
+	// backoff window; epoch invalidates stale transfer callbacks after a
+	// fault yanks the job off its device mid-flight.
+	restarting bool
+	epoch      int
 }
 
 // NewManager creates a SwitchFlow manager over the machine. The global
@@ -139,6 +157,12 @@ func (m *Manager) AddJob(cfg workload.Config) (*workload.Job, error) {
 	m.jobs = append(m.jobs, js)
 	job.StartArrivals(func() { m.pump(js) })
 	m.eng.After(0, func() { m.pump(js) })
+	if m.opts.CheckpointEvery > 0 && job.Training() {
+		// Admission-time state is durable (weights initialize from host),
+		// so the job starts with a valid iteration-zero checkpoint.
+		job.RecordCheckpoint()
+		m.scheduleCheckpoint(js)
+	}
 	return job, nil
 }
 
@@ -166,7 +190,7 @@ func (m *Manager) JobDevice(job *workload.Job) device.ID {
 // pump advances a job's pipeline; it is called on every relevant state
 // change and is idempotent.
 func (m *Manager) pump(js *jobState) {
-	if js.stopped || js.job.Crashed() || js.preempting {
+	if js.stopped || js.job.Crashed() || js.preempting || js.restarting {
 		return
 	}
 	if m.opts.DisableFreeCPUExecutors {
@@ -180,6 +204,9 @@ func (m *Manager) pump(js *jobState) {
 // pumpInput starts the CPU input stage whenever a prefetch slot is free —
 // invariant 2: CPU executors run without restriction (§3.4).
 func (m *Manager) pumpInput(js *jobState) {
+	if m.eng.Now() < m.stallUntil {
+		return // input pipelines stalled; handleInputStall re-pumps
+	}
 	v, err := js.job.Version(js.current)
 	if err != nil {
 		js.job.Crash(err)
@@ -257,6 +284,9 @@ func (m *Manager) pumpCoupled(js *jobState) {
 	}
 	if js.job.ComputeRunning || js.job.InputsInFlight > 0 || !js.job.HasWork() {
 		return
+	}
+	if m.eng.Now() < m.stallUntil {
+		return // coupled sessions start with input; stalled like pumpInput
 	}
 	if js.current.Kind != device.KindGPU {
 		m.pumpInput(js)
@@ -379,9 +409,14 @@ func (m *Manager) poolFor(js *jobState) *threadpool.Pool {
 func (m *Manager) afterCompute(js *jobState) {
 	if js.checkpointRequested && js.current.Kind == device.KindGPU {
 		js.checkpointRequested = false
-		d2h := m.machine.DeviceToHost(js.current.Index)
+		from := js.current
+		epoch := js.epoch
+		d2h := m.machine.DeviceToHost(from.Index)
 		d2h.Transfer(js.job.WeightBytes(), js.job.Cfg.Model.WeightVars(), func() {
-			js.job.FreeWeights(js.current)
+			js.job.FreeWeights(from)
+			if js.epoch != epoch {
+				return // a fault already relocated the job mid-transfer
+			}
 			js.checkpointed = true
 			js.weightsReady = false
 			m.releaseFrom(js)
@@ -407,8 +442,12 @@ func (m *Manager) restoreCheckpoint(js *jobState) {
 		m.releaseFrom(js)
 		return
 	}
+	epoch := js.epoch
 	h2d := m.machine.HostToDevice(js.current.Index)
 	h2d.Transfer(js.job.WeightBytes(), js.job.Cfg.Model.WeightVars(), func() {
+		if js.epoch != epoch {
+			return // a fault already relocated the job mid-transfer
+		}
 		js.restoring = false
 		js.checkpointed = false
 		js.weightsReady = true

@@ -94,7 +94,13 @@ func (m *Manager) preempt(gpu int, victim *jobState) {
 		victim.inTempPool = true
 	}
 
+	epoch := victim.epoch
 	finish := func() {
+		if victim.epoch != epoch {
+			// A fault relocated the victim while its kernels drained; the
+			// fault handler already settled the arbiter.
+			return
+		}
 		from := victim.current
 		// The iteration's intermediate data is discarded either way,
 		// freeing the bulk of GPU memory for the preempter (§3.4); the
@@ -146,7 +152,7 @@ func (m *Manager) preempt(gpu int, victim *jobState) {
 // the victim's weights. ok is false when the victim should stay and wait.
 func (m *Manager) pickFallback(victim *jobState) (device.ID, bool) {
 	for _, dev := range victim.job.Cfg.Fallbacks {
-		if dev == victim.current {
+		if dev == victim.current || !m.machine.Healthy(dev) {
 			continue
 		}
 		if dev.Kind == device.KindGPU {
@@ -192,8 +198,20 @@ func (m *Manager) migrate(victim *jobState, from, to device.ID, onDone func()) {
 	}
 	bytes := victim.job.WeightBytes()
 	tensors := victim.job.Cfg.Model.WeightVars()
+	epoch := victim.epoch
 	path.Transfer(bytes, tensors, func() {
+		// Safe even if a fault took `from` down mid-transfer: ForgetDevice
+		// zeroed the accounting, so this free is a no-op there.
 		victim.job.FreeWeights(from)
+		if victim.epoch != epoch {
+			// A fault relocated the job again; its handler owns the state
+			// now, but the sync-ablation release must still run so the
+			// source GPU's arbiter keeps granting.
+			if onDone != nil {
+				onDone()
+			}
+			return
+		}
 		victim.weightsReady = true
 		if to.Kind == device.KindGPU {
 			victim.inTempPool = false

@@ -69,6 +69,9 @@ type GPU struct {
 	busy       time.Duration
 	busySince  time.Duration
 	launched   uint64
+	dropped    uint64
+	failed     bool
+	slowdown   float64 // execution slowdown while degraded; 0 or 1 = healthy
 }
 
 // NewGPU creates a GPU of the given class bound to the engine.
@@ -86,7 +89,14 @@ func (g *GPU) ID() ID { return g.id }
 
 // Submit queues k for execution. It starts immediately if its occupancy
 // fits alongside the kernels already running, otherwise it waits FIFO.
+// Kernels submitted to a failed device are dropped and never complete,
+// like launches against a lost CUDA context; schedulers are expected to
+// abort the owning executor runs when they handle the device-lost fault.
 func (g *GPU) Submit(k Kernel) {
+	if g.failed {
+		g.dropped++
+		return
+	}
 	g.advance()
 	occ := k.Occupancy
 	if occ < 0.05 {
@@ -122,6 +132,67 @@ func (g *GPU) BusyTime() time.Duration {
 		return g.busy + (g.eng.Now() - g.busySince)
 	}
 	return g.busy
+}
+
+// Failed reports whether the device has been lost (fault injection).
+func (g *GPU) Failed() bool { return g.failed }
+
+// Slowdown returns the current degraded-mode slowdown factor (1 while
+// healthy).
+func (g *GPU) Slowdown() float64 {
+	if g.slowdown <= 1 {
+		return 1
+	}
+	return g.slowdown
+}
+
+// DroppedKernels returns how many kernels were discarded — in flight or
+// queued at Fail time, or submitted after it.
+func (g *GPU) DroppedKernels() uint64 { return g.dropped }
+
+// Fail takes the device off the bus: every in-flight and queued kernel is
+// discarded without completing (their OnDone callbacks never fire) and
+// the memory pool's contents are lost. It returns the number of kernels
+// dropped. Further Submits are dropped too, until Heal.
+func (g *GPU) Fail() int {
+	if g.failed {
+		return 0
+	}
+	g.advance()
+	if len(g.running) > 0 {
+		g.busy += g.eng.Now() - g.busySince
+	}
+	lost := len(g.running) + len(g.queue)
+	g.dropped += uint64(lost)
+	g.running = g.running[:0]
+	g.queue = g.queue[:0]
+	g.usedOcc = 0
+	g.completion.Cancel()
+	g.completion = sim.Event{}
+	g.failed = true
+	g.Mem.Invalidate()
+	return lost
+}
+
+// Degrade slows kernel execution by factor (>= 1), modelling a device in
+// a throttled or error-retry state (e.g. after correctable ECC errors).
+// Degrading a failed device has no effect until it heals.
+func (g *GPU) Degrade(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	g.advance()
+	g.slowdown = factor
+	g.reschedule()
+}
+
+// Heal returns the device to healthy full-speed operation. Memory lost at
+// Fail time stays lost; jobs must restore state from host checkpoints.
+func (g *GPU) Heal() {
+	g.advance()
+	g.failed = false
+	g.slowdown = 0
+	g.reschedule()
 }
 
 // OutstandingWork returns the remaining solo-time of executing plus queued
@@ -175,13 +246,17 @@ func (g *GPU) advance() {
 }
 
 // rate is the execution speed of each co-running kernel: full speed alone,
-// mildly degraded when kernels genuinely overlap.
+// mildly degraded when kernels genuinely overlap, further scaled down
+// while the device is in a degraded fault state.
 func (g *GPU) rate() float64 {
-	n := len(g.running)
-	if n <= 1 {
-		return 1
+	rate := 1.0
+	if n := len(g.running); n > 1 {
+		rate = 1 / (1 + contentionBeta*float64(n-1))
 	}
-	return 1 / (1 + contentionBeta*float64(n-1))
+	if g.slowdown > 1 {
+		rate /= g.slowdown
+	}
+	return rate
 }
 
 // reschedule cancels any pending completion event and schedules one for

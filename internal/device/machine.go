@@ -73,6 +73,27 @@ func (m *Machine) CopyPath(src, dst ID) (*CopyEngine, error) {
 	}
 }
 
+// Healthy reports whether id can run work: the CPU always can; a GPU can
+// unless it has failed (out-of-range GPU indices are unhealthy too).
+func (m *Machine) Healthy(id ID) bool {
+	if id.Kind != KindGPU {
+		return true
+	}
+	gpu := m.GPU(id.Index)
+	return gpu != nil && !gpu.Failed()
+}
+
+// HealthyGPUs returns how many GPUs have not failed.
+func (m *Machine) HealthyGPUs() int {
+	n := 0
+	for _, gpu := range m.GPUs {
+		if !gpu.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
 // Devices returns all device identifiers: the CPU first, then each GPU.
 func (m *Machine) Devices() []ID {
 	ids := make([]ID, 0, len(m.GPUs)+1)

@@ -66,6 +66,12 @@ func (p *MemPool) Free(n int64) {
 	p.used -= n
 }
 
+// Invalidate discards every allocation at once: the device's memory
+// contents are gone (device-lost fault). Jobs that held bytes here must
+// drop their accounting with workload's ForgetDevice rather than Free,
+// which would otherwise underflow the pool.
+func (p *MemPool) Invalidate() { p.used = 0 }
+
 // Used returns bytes currently allocated.
 func (p *MemPool) Used() int64 { return p.used }
 

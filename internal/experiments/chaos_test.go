@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"switchflow/internal/harness"
+)
+
+func TestChaosContrastsRecoveryAgainstBaselines(t *testing.T) {
+	rows := Chaos([]int64{7})
+	byName := map[string]ChaosRow{}
+	for _, r := range rows {
+		byName[r.Scheduler] = r
+	}
+
+	sf, ok := byName["switchflow"]
+	if !ok {
+		t.Fatalf("no switchflow row in %+v", rows)
+	}
+	if !sf.ServeAlive {
+		t.Fatalf("switchflow serving job died despite fallbacks: %+v", sf)
+	}
+	if sf.Migrations == 0 {
+		t.Errorf("switchflow should migrate off the lost GPU, got %+v", sf)
+	}
+	if sf.Restarts == 0 {
+		t.Errorf("switchflow should record restarts, got %+v", sf)
+	}
+	if sf.JobsLost != 0 {
+		t.Errorf("switchflow lost %d jobs despite fallbacks", sf.JobsLost)
+	}
+
+	ttf, ok := byName["threaded-tf"]
+	if !ok {
+		t.Fatalf("no threaded-tf row in %+v", rows)
+	}
+	if ttf.ServeAlive {
+		t.Errorf("threaded-tf serving job should die with its GPU: %+v", ttf)
+	}
+	if ttf.JobsLost == 0 {
+		t.Errorf("threaded-tf should lose jobs to the injected faults: %+v", ttf)
+	}
+	if ttf.Migrations != 0 || ttf.Restarts != 0 {
+		t.Errorf("baselines have no recovery path, got %+v", ttf)
+	}
+
+	if sf.Served <= ttf.Served {
+		t.Errorf("switchflow should keep serving past the fault: switchflow=%d threaded-tf=%d",
+			sf.Served, ttf.Served)
+	}
+}
+
+func TestParallelChaosMatchesSerial(t *testing.T) {
+	seeds := []int64{1, 2}
+
+	prev := harness.SetParallelism(1)
+	defer harness.SetParallelism(prev)
+	serial := Chaos(seeds)
+
+	harness.SetParallelism(8)
+	parallel := Chaos(seeds)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("chaos sweep is not deterministic under parallelism:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}

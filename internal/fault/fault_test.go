@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/sim"
+)
+
+func TestRandomIsDeterministic(t *testing.T) {
+	cfg := DefaultRandomConfig(2)
+	cfg.DeviceLossAt = 30 * time.Second
+	a := Random(7, time.Minute, cfg)
+	b := Random(7, time.Minute, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("default config over a minute produced no events")
+	}
+	c := Random(8, time.Minute, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestRandomSchedulesRequestedDeviceLoss(t *testing.T) {
+	cfg := DefaultRandomConfig(1)
+	cfg.DeviceLossAt = 10 * time.Second
+	p := Random(1, time.Minute, cfg)
+	var losses int
+	for _, ev := range p.Events {
+		if ev.Kind == KindDeviceLost {
+			losses++
+			if ev.At != 10*time.Second {
+				t.Fatalf("device loss at %v, want 10s", ev.At)
+			}
+		}
+	}
+	if losses != 1 {
+		t.Fatalf("%d device losses, want exactly 1", losses)
+	}
+}
+
+func TestSortedIsStableAndNonDestructive(t *testing.T) {
+	var p Plan
+	p.Transient(2*time.Second, 0)
+	p.StallInputs(time.Second, 100*time.Millisecond)
+	p.LoseGPU(time.Second, 1)
+	got := p.Sorted()
+	if got[0].Kind != KindInputStall || got[1].Kind != KindDeviceLost {
+		t.Fatalf("same-instant events reordered: %v then %v", got[0].Kind, got[1].Kind)
+	}
+	if p.Events[0].Kind != KindTransient {
+		t.Fatal("Sorted mutated the plan")
+	}
+}
+
+func TestInjectorAppliesHardwareEffects(t *testing.T) {
+	eng := sim.NewEngine()
+	machine := device.NewMachine(eng, device.ClassXeonDual, device.ClassV100, device.ClassV100)
+	var p Plan
+	p.Degrade(time.Second, 1, 2.0, time.Second)
+	p.LoseGPU(2*time.Second, 0)
+	in := NewInjector(eng, machine, p)
+	var seen []Kind
+	in.Attach(handlerFunc(func(ev Event) { seen = append(seen, ev.Kind) }))
+	in.Arm()
+
+	eng.RunUntil(1500 * time.Millisecond)
+	if got := machine.GPU(1).Slowdown(); got != 2.0 {
+		t.Fatalf("degraded GPU slowdown = %v, want 2.0", got)
+	}
+	eng.RunUntil(5 * time.Second)
+	if machine.GPU(1).Slowdown() != 1.0 {
+		t.Fatal("degraded GPU did not heal after its window")
+	}
+	if !machine.GPU(0).Failed() {
+		t.Fatal("lost GPU not marked failed")
+	}
+	if machine.Healthy(device.GPUID(0)) {
+		t.Fatal("machine reports the lost GPU healthy")
+	}
+	if got := machine.HealthyGPUs(); got != 1 {
+		t.Fatalf("HealthyGPUs = %d, want 1", got)
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("Injected = %d, want 2", in.Injected())
+	}
+	want := []Kind{KindDegraded, KindDeviceLost}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("handler saw %v, want %v", seen, want)
+	}
+}
+
+type handlerFunc func(Event)
+
+func (f handlerFunc) HandleFault(ev Event) { f(ev) }

@@ -84,3 +84,56 @@ func TestValidationErrors(t *testing.T) {
 		})
 	}
 }
+
+func TestBoolSpellings(t *testing.T) {
+	for _, s := range []string{"True", "true", "TRUE", " true ", "1", "yes"} {
+		m := map[string]string{
+			EnvReuseInputs: s,
+			EnvMasterX:     "X00", EnvMasterY: "y00",
+			EnvSubX: "X01", EnvSubY: "y01",
+		}
+		cfg, err := FromEnv(env(m))
+		if err != nil || !cfg.ReuseInputs {
+			t.Errorf("FromEnv with %s=%q: cfg=%+v err=%v", EnvReuseInputs, s, cfg, err)
+		}
+	}
+	for _, s := range []string{"", "False", "false", "0", "no", "  "} {
+		cfg, err := FromEnv(env(map[string]string{EnvReuseInputs: s}))
+		if err != nil || cfg.ReuseInputs {
+			t.Errorf("FromEnv with %s=%q: cfg=%+v err=%v", EnvReuseInputs, s, cfg, err)
+		}
+	}
+}
+
+func TestDuplicateAmongSubsidiaries(t *testing.T) {
+	m := map[string]string{
+		EnvReuseInputs: "True",
+		EnvMasterX:     "X00", EnvMasterY: "y00",
+		EnvSubX: "X01,X01", EnvSubY: "y01,y02",
+	}
+	if _, err := FromEnv(env(m)); err == nil {
+		t.Fatal("duplicate subsidiary input op accepted")
+	}
+}
+
+func TestWhitespaceOnlySubsidiariesRejected(t *testing.T) {
+	m := map[string]string{
+		EnvReuseInputs: "True",
+		EnvMasterX:     "X00", EnvMasterY: "y00",
+		EnvSubX: " , ,", EnvSubY: "",
+	}
+	if _, err := FromEnv(env(m)); err == nil {
+		t.Fatal("whitespace-only subsidiary list accepted")
+	}
+}
+
+func TestErrorsReturnZeroConfig(t *testing.T) {
+	m := map[string]string{EnvReuseInputs: "True"} // missing everything else
+	cfg, err := FromEnv(env(m))
+	if err == nil {
+		t.Fatal("incomplete config accepted")
+	}
+	if cfg.ReuseInputs || cfg.MasterX != "" || cfg.MasterY != "" || len(cfg.SubX) != 0 || len(cfg.SubY) != 0 {
+		t.Fatalf("error path leaked partial config: %+v", cfg)
+	}
+}

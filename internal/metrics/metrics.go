@@ -94,6 +94,47 @@ func (l *Latency) sort() {
 	l.sorted = true
 }
 
+// FaultCounters aggregates what a scheduler saw and did about injected
+// faults (the §3.4/§5.2 robustness story under induced failures). Every
+// scheduler owns one instance; fields are plain ints because all mutation
+// happens inside a single simulation's event callbacks.
+type FaultCounters struct {
+	// Injected counts fault events delivered to the scheduler.
+	Injected int
+	// DeviceLost, Transients, InputStalls break Injected down by kind.
+	DeviceLost  int
+	Transients  int
+	InputStalls int
+	// JobsLost counts jobs that died because of a fault (no recovery
+	// path — the baselines, or a SwitchFlow job with no viable fallback).
+	JobsLost int
+	// Migrations counts fault-triggered device migrations (distinct from
+	// preemption migrations).
+	Migrations int
+	// Restarts counts crash-and-restart recoveries (checkpoint restore
+	// after a transient fault or a device loss).
+	Restarts int
+	// Checkpoints counts background checkpoint snapshots taken.
+	Checkpoints int
+	// IterationsLost counts training iterations rolled back to the last
+	// checkpoint across all recoveries.
+	IterationsLost int
+}
+
+// Add accumulates other into c (used when aggregating per-node counters
+// across a cluster).
+func (c *FaultCounters) Add(other FaultCounters) {
+	c.Injected += other.Injected
+	c.DeviceLost += other.DeviceLost
+	c.Transients += other.Transients
+	c.InputStalls += other.InputStalls
+	c.JobsLost += other.JobsLost
+	c.Migrations += other.Migrations
+	c.Restarts += other.Restarts
+	c.Checkpoints += other.Checkpoints
+	c.IterationsLost += other.IterationsLost
+}
+
 // Throughput converts a count over a window into items/second.
 func Throughput(items int, window time.Duration) float64 {
 	if window <= 0 {

@@ -78,6 +78,15 @@ type Config struct {
 	// Fuse applies static-graph elementwise fusion (mutually exclusive
 	// with Eager).
 	Fuse bool
+	// CheckpointEvery is the period of background checkpoints to host
+	// memory (fault recovery, TF's checkpoint-and-restart story). Zero
+	// disables checkpointing; recoveries then roll training back to the
+	// admission state.
+	CheckpointEvery time.Duration
+	// RestartBackoff is the base delay of the crash-and-restart loop;
+	// consecutive restarts back off exponentially from it (default
+	// 250 ms, capped at 16x the base).
+	RestartBackoff time.Duration
 }
 
 // Version is one device placement of the job's graph: the replicated
@@ -107,6 +116,8 @@ type Job struct {
 	Latencies metrics.Latency
 	// CrashErr is set when the job dies (e.g. OOM under threaded TF).
 	CrashErr error
+	// Restarts counts crash-and-restart recoveries (fault injection).
+	Restarts int
 
 	// InputsInFlight counts concurrently running input-stage activations
 	// (tf.data overlaps the preprocessing of several batches); together
@@ -128,6 +139,11 @@ type Job struct {
 	onArrival       func()              // closed-loop re-arm hook
 	weightHome      map[device.ID]int64 // allocated weight bytes
 	intermediate    map[device.ID]int64
+
+	// Checkpoint/restart recovery state (see recovery.go).
+	checkpointIters int
+	checkpointAt    time.Duration
+	backoff         time.Duration
 }
 
 // NewJob builds a job and its graph versions for the preferred device and
@@ -408,6 +424,7 @@ func (j *Job) BeginCompute() {
 func (j *Job) FinishCompute() {
 	j.ComputeRunning = false
 	j.Iterations++
+	j.backoff = 0 // a healthy iteration resets the restart backoff
 	if j.Training() || j.Cfg.Saturated {
 		return
 	}

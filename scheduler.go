@@ -1,26 +1,35 @@
 package switchflow
 
 import (
+	"fmt"
 	"time"
 
 	"switchflow/internal/baseline"
 	"switchflow/internal/core"
+	"switchflow/internal/metrics"
 	"switchflow/internal/workload"
 )
 
 // Scheduler is the common surface of SwitchFlow and the baselines.
 type Scheduler interface {
-	// AddJob admits a job described by spec.
+	// AddJob admits a job described by spec. The spec is validated first;
+	// errors wrap ErrInvalidJobSpec.
 	AddJob(spec JobSpec) (*Job, error)
 	// StopJob halts a job's loop.
 	StopJob(*Job)
 	// Name identifies the scheduling policy.
 	Name() string
+	// FaultStats reports fault-injection and recovery counters; all zero
+	// when the scheduler was built without WithFaultPlan.
+	FaultStats() FaultStats
 }
 
 // SchedulerOptions tune the SwitchFlow manager; the zero value is the
 // paper's design. The Disable* fields reproduce the ablations in
 // DESIGN.md.
+//
+// Deprecated: use NewScheduler with functional options (WithTempPoolThreads,
+// WithoutGPUExclusivity, ...) instead.
 type SchedulerOptions struct {
 	TempPoolThreads          int
 	DisableGPUExclusive      bool
@@ -29,25 +38,45 @@ type SchedulerOptions struct {
 	DisableTempPoolIsolation bool
 }
 
+func (o SchedulerOptions) options() []Option {
+	var opts []Option
+	if o.TempPoolThreads > 0 {
+		opts = append(opts, WithTempPoolThreads(o.TempPoolThreads))
+	}
+	if o.DisableGPUExclusive {
+		opts = append(opts, WithoutGPUExclusivity())
+	}
+	if o.DisableFreeCPUExecutors {
+		opts = append(opts, WithoutFreeCPUExecutors())
+	}
+	if o.SyncStateTransfer {
+		opts = append(opts, WithSyncStateTransfer())
+	}
+	if o.DisableTempPoolIsolation {
+		opts = append(opts, WithoutTempPoolIsolation())
+	}
+	return opts
+}
+
 // SwitchFlow creates the paper's scheduler on this simulation.
+//
+// Deprecated: use NewScheduler(PolicySwitchFlow, opts...) instead.
 func (s *Simulation) SwitchFlow(opts ...SchedulerOptions) *SwitchFlowScheduler {
 	var o SchedulerOptions
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	m := core.NewManager(s.eng, s.machine, core.Options{
-		TempPoolThreads:          o.TempPoolThreads,
-		DisableGPUExclusive:      o.DisableGPUExclusive,
-		DisableFreeCPUExecutors:  o.DisableFreeCPUExecutors,
-		SyncStateTransfer:        o.SyncStateTransfer,
-		DisableTempPoolIsolation: o.DisableTempPoolIsolation,
-	})
-	return &SwitchFlowScheduler{m: m}
+	sched, err := s.NewScheduler(PolicySwitchFlow, o.options()...)
+	if err != nil {
+		panic(err) // unreachable: every converted option is valid
+	}
+	return sched.(*SwitchFlowScheduler)
 }
 
 // SwitchFlowScheduler is the preemptive multitasking scheduler (§3).
 type SwitchFlowScheduler struct {
-	m *core.Manager
+	m   *core.Manager
+	sim *Simulation
 }
 
 var _ Scheduler = (*SwitchFlowScheduler)(nil)
@@ -55,10 +84,11 @@ var _ Scheduler = (*SwitchFlowScheduler)(nil)
 // Name implements Scheduler.
 func (s *SwitchFlowScheduler) Name() string { return "switchflow" }
 
-// AddJob implements Scheduler. Admission fails when the job's persistent
-// state does not fit next to already-admitted jobs (§3.4's OOM-freedom).
+// AddJob implements Scheduler. Admission fails when the spec is invalid
+// or when the job's persistent state does not fit next to
+// already-admitted jobs (§3.4's OOM-freedom).
 func (s *SwitchFlowScheduler) AddJob(spec JobSpec) (*Job, error) {
-	cfg, err := spec.toConfig()
+	cfg, err := s.sim.specConfig(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +108,7 @@ func (s *SwitchFlowScheduler) StopJob(j *Job) { s.m.StopJob(j.inner) }
 func (s *SwitchFlowScheduler) AddSharedGroup(specs []JobSpec) (*SharedGroup, error) {
 	cfgs := make([]workload.Config, len(specs))
 	for i, spec := range specs {
-		cfg, err := spec.toConfig()
+		cfg, err := s.sim.specConfig(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -98,12 +128,23 @@ func (s *SwitchFlowScheduler) AddSharedGroup(specs []JobSpec) (*SharedGroup, err
 // Preemptions returns the number of preemption events so far.
 func (s *SwitchFlowScheduler) Preemptions() int { return s.m.Preemptions }
 
-// Migrations returns the number of device migrations so far.
+// Migrations returns the number of device migrations so far (preemptive
+// and fault-driven).
 func (s *SwitchFlowScheduler) Migrations() int { return s.m.Migrations }
 
 // PreemptionP95 returns the 95th-percentile GPU-grant latency (§5.2.3).
 func (s *SwitchFlowScheduler) PreemptionP95() time.Duration {
 	return s.m.PreemptionLatencies.Percentile(95)
+}
+
+// FaultStats implements Scheduler.
+func (s *SwitchFlowScheduler) FaultStats() FaultStats { return faultStatsFrom(s.m.Faults) }
+
+// RecoveryP95 returns the 95th-percentile fault-to-serving-again latency
+// across recovered jobs (migrations after device loss, restarts after
+// transient errors).
+func (s *SwitchFlowScheduler) RecoveryP95() time.Duration {
+	return s.m.RecoveryLatencies.Percentile(95)
 }
 
 // JobDeviceName reports the device a job currently runs on ("gpu:1",
@@ -126,34 +167,54 @@ func (g *SharedGroup) Stop() { g.group.Stop() }
 
 // ThreadedTF creates the multi-threaded TensorFlow baseline: free GPU
 // sharing through per-job streams, OOM crashes possible.
-func (s *Simulation) ThreadedTF() Scheduler {
-	return &baselineScheduler{
-		name: "threaded-tf",
-		add:  adaptThreaded(baseline.NewThreadedTF(s.eng, s.machine)),
-	}
-}
+//
+// Deprecated: use NewScheduler(PolicyThreadedTF) instead.
+func (s *Simulation) ThreadedTF() Scheduler { return s.mustScheduler(PolicyThreadedTF) }
 
 // TimeSlice creates the Gandiva-style session time-slicing baseline.
-func (s *Simulation) TimeSlice() Scheduler {
-	return &baselineScheduler{
-		name: "timeslice",
-		add:  adaptTimeSlice(baseline.NewTimeSlice(s.eng, s.machine)),
-	}
-}
+//
+// Deprecated: use NewScheduler(PolicyTimeSlice) instead.
+func (s *Simulation) TimeSlice() Scheduler { return s.mustScheduler(PolicyTimeSlice) }
 
 // MPS creates the NVIDIA MPS baseline: spatial sharing with per-process
 // memory reservations.
-func (s *Simulation) MPS() Scheduler {
-	return &baselineScheduler{
-		name: "mps",
-		add:  adaptMPS(baseline.NewMPS(s.eng, s.machine)),
+//
+// Deprecated: use NewScheduler(PolicyMPS) instead.
+func (s *Simulation) MPS() Scheduler { return s.mustScheduler(PolicyMPS) }
+
+func (s *Simulation) mustScheduler(policy Policy) Scheduler {
+	sched, err := s.NewScheduler(policy)
+	if err != nil {
+		panic(err) // unreachable: the policy constants are all valid
 	}
+	return sched
+}
+
+// specConfig validates a spec against this simulation's machine and
+// lowers it to a workload config.
+func (s *Simulation) specConfig(spec JobSpec) (workload.Config, error) {
+	if err := spec.Validate(); err != nil {
+		return workload.Config{}, err
+	}
+	if spec.GPU >= s.GPUCount() {
+		return workload.Config{}, fmt.Errorf("%w: GPU index %d out of range (machine has %d GPUs)",
+			ErrInvalidJobSpec, spec.GPU, s.GPUCount())
+	}
+	for _, g := range spec.FallbackGPUs {
+		if g >= s.GPUCount() {
+			return workload.Config{}, fmt.Errorf("%w: fallback GPU index %d out of range (machine has %d GPUs)",
+				ErrInvalidJobSpec, g, s.GPUCount())
+		}
+	}
+	return spec.toConfig()
 }
 
 // baselineScheduler adapts the three baselines to the Scheduler interface.
 type baselineScheduler struct {
-	name string
-	add  baselineOps
+	name   string
+	sim    *Simulation
+	add    baselineOps
+	faults func() metrics.FaultCounters
 }
 
 type baselineOps struct {
@@ -166,7 +227,7 @@ var _ Scheduler = (*baselineScheduler)(nil)
 func (b *baselineScheduler) Name() string { return b.name }
 
 func (b *baselineScheduler) AddJob(spec JobSpec) (*Job, error) {
-	cfg, err := spec.toConfig()
+	cfg, err := b.sim.specConfig(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +239,8 @@ func (b *baselineScheduler) AddJob(spec JobSpec) (*Job, error) {
 }
 
 func (b *baselineScheduler) StopJob(j *Job) { b.add.stopJob(j.inner) }
+
+func (b *baselineScheduler) FaultStats() FaultStats { return faultStatsFrom(b.faults()) }
 
 func adaptThreaded(s *baseline.ThreadedTF) baselineOps {
 	return baselineOps{addJob: s.AddJob, stopJob: s.StopJob}

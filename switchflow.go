@@ -1,6 +1,7 @@
 package switchflow
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -154,6 +155,60 @@ type JobSpec struct {
 	Fuse bool
 }
 
+// ErrInvalidJobSpec is wrapped by every JobSpec validation error; test
+// with errors.Is.
+var ErrInvalidJobSpec = errors.New("invalid job spec")
+
+// Validate checks the spec's machine-independent invariants: a positive
+// batch, a known model, non-negative device indices, and a coherent
+// workload mode. AddJob validates automatically (adding a range check
+// against the simulation's machine); call Validate directly to check
+// specs before building anything.
+func (spec JobSpec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidJobSpec, fmt.Sprintf(format, args...))
+	}
+	if spec.Batch <= 0 {
+		return fail("batch must be positive, got %d", spec.Batch)
+	}
+	if _, err := models.ByName(spec.Model); err != nil {
+		return fail("%v", err)
+	}
+	if spec.GPU < 0 {
+		return fail("GPU index must be non-negative, got %d", spec.GPU)
+	}
+	for _, g := range spec.FallbackGPUs {
+		if g < 0 {
+			return fail("fallback GPU index must be non-negative, got %d", g)
+		}
+	}
+	if spec.ServeEvery < 0 {
+		return fail("ServeEvery must be non-negative, got %v", spec.ServeEvery)
+	}
+	if spec.Train {
+		if spec.ServeEvery > 0 || spec.ClosedLoop || spec.Saturated || spec.PoissonArrivals {
+			return fail("training job %q must not set serving modes (ServeEvery/ClosedLoop/Saturated/PoissonArrivals)", spec.Name)
+		}
+		return nil
+	}
+	if spec.ClosedLoop && spec.Saturated {
+		return fail("ClosedLoop and Saturated are mutually exclusive")
+	}
+	if spec.Saturated && (spec.ServeEvery > 0 || spec.PoissonArrivals) {
+		return fail("Saturated ignores arrivals; do not set ServeEvery or PoissonArrivals")
+	}
+	if spec.ClosedLoop && (spec.ServeEvery > 0 || spec.PoissonArrivals) {
+		return fail("ClosedLoop generates its own arrivals; do not set ServeEvery or PoissonArrivals")
+	}
+	if spec.PoissonArrivals && spec.ServeEvery <= 0 {
+		return fail("PoissonArrivals needs ServeEvery as the mean inter-arrival time")
+	}
+	if spec.ServeEvery == 0 && !spec.ClosedLoop && !spec.Saturated {
+		return fail("serving job %q has no arrival process; set ServeEvery, ClosedLoop, or Saturated", spec.Name)
+	}
+	return nil
+}
+
 func (spec JobSpec) toConfig() (workload.Config, error) {
 	model, err := models.ByName(spec.Model)
 	if err != nil {
@@ -215,6 +270,11 @@ func (j *Job) MeanLatency() time.Duration { return j.inner.Latencies.Mean() }
 
 // Requests returns the number of latency samples recorded.
 func (j *Job) Requests() int { return j.inner.Latencies.Count() }
+
+// Restarts returns how many times the job recovered from an injected
+// fault (crash-and-restart or fault-driven migration). Always zero under
+// the baselines — they have no recovery path.
+func (j *Job) Restarts() int { return j.inner.Restarts }
 
 // Crashed reports whether the job died (e.g. OOM under a baseline).
 func (j *Job) Crashed() bool { return j.inner.Crashed() }
