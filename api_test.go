@@ -33,6 +33,12 @@ func TestJobSpecValidate(t *testing.T) {
 		{"closed loop with arrivals", func(s *switchflow.JobSpec) { s.ClosedLoop = true }},
 		{"poisson without rate", func(s *switchflow.JobSpec) { s.ServeEvery = 0; s.PoissonArrivals = true }},
 		{"serving without arrivals", func(s *switchflow.JobSpec) { s.ServeEvery = 0 }},
+		{"negative SLO", func(s *switchflow.JobSpec) { s.SLO = -time.Millisecond }},
+		{"negative max batch", func(s *switchflow.JobSpec) { s.MaxBatch = -1 }},
+		{"negative batch wait", func(s *switchflow.JobSpec) { s.MaxBatch = 4; s.BatchWait = -time.Millisecond }},
+		{"batch wait without batching", func(s *switchflow.JobSpec) { s.BatchWait = 5 * time.Millisecond }},
+		{"training with SLO", func(s *switchflow.JobSpec) { s.Train = true; s.ServeEvery = 0; s.SLO = time.Second }},
+		{"training with max batch", func(s *switchflow.JobSpec) { s.Train = true; s.ServeEvery = 0; s.MaxBatch = 4 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

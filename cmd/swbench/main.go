@@ -7,7 +7,8 @@
 //	swbench -exp f6 -requests 100
 //	swbench -exp f8 -iters 200
 //
-// Experiments: f2, f3, f6, f7, f8, f9, f10, t1, preempt, ablation, chaos, all.
+// Experiments: f2, f3, f6, f7, f8, f9, f10, t1, preempt, ablation, chaos,
+// serving, all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,eager,fleet,ablation,chaos,all")
+		exp      = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,serving,eager,fleet,ablation,chaos,all")
 		iters    = flag.Int("iters", 200, "iterations per measurement (figures 3, 8, 9, 10)")
 		requests = flag.Int("requests", 200, "inference requests per cell (figure 6, preempt, ablation)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for experiment sweeps (1 = serial)")
@@ -51,12 +52,13 @@ func run(exp string, iters, requests int) error {
 		"ablation": func() { ablation(requests) },
 		"gandiva":  func() { gandiva(requests) },
 		"load":     func() { load(requests) },
+		"serving":  func() { serving() },
 		"eager":    func() { eager() },
 		"fleet":    func() { fleet() },
 		"chaos":    func() { chaos() },
 	}
 	if exp == "all" {
-		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "eager", "fleet", "ablation", "chaos"} {
+		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "serving", "eager", "fleet", "ablation", "chaos"} {
 			timed(id, all[id])
 		}
 		return nil
@@ -208,6 +210,22 @@ func load(requests int) {
 	for _, r := range experiments.LoadSweep(requests) {
 		fmt.Printf("%10.1f %12.1f %12.1f %12.1f %12.1f\n",
 			r.RatePerSec, r.TFP95MS, r.TFP99MS, r.SFP95MS, r.SFP99MS)
+	}
+}
+
+func serving() {
+	header("Serving: SLO-aware dynamic batching + admission control (ResNet50, V100, 200ms SLO, 30s)")
+	fmt.Printf("%10s | %10s %9s %9s %7s %7s %7s | %10s %9s %9s %7s %7s\n",
+		"req/s",
+		"b-goodput", "b-p95", "b-p99", "b-shed", "b-att%", "b-batch",
+		"u-goodput", "u-p95", "u-p99", "u-shed", "u-att%")
+	for _, r := range experiments.ServingSweep(30 * time.Second) {
+		fmt.Printf("%10.1f | %10.1f %7.1fms %7.1fms %7d %6.1f%% %7.2f | %10.1f %7.1fms %7.1fms %7d %6.1f%%\n",
+			r.RatePerSec,
+			r.Batched.GoodputPS, r.Batched.P95MS, r.Batched.P99MS,
+			r.Batched.Shed, r.Batched.AttainPct, r.Batched.MeanBatch,
+			r.Unbatched.GoodputPS, r.Unbatched.P95MS, r.Unbatched.P99MS,
+			r.Unbatched.Shed, r.Unbatched.AttainPct)
 	}
 }
 

@@ -9,6 +9,14 @@
 //
 //	swrun -machine v100 -sched switchflow \
 //	      -jobs train:VGG16:32:1,serve:ResNet50:1:2 -for 30s
+//
+// The serving flags reshape every serve job: -serve-every switches it to
+// an open-loop request stream (optionally Poisson via -poisson and
+// -arrival-seed), -slo enables admission control, and -max-batch with
+// -batch-wait enables dynamic micro-batching:
+//
+//	swrun -jobs serve:ResNet50:1:2 -serve-every 10ms -poisson \
+//	      -slo 200ms -max-batch 8 -batch-wait 5ms -for 30s
 package main
 
 import (
@@ -34,13 +42,23 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 0, "inject a seeded random fault mix (0 = none)")
 		loseGPU      = flag.String("lose-gpu", "", "inject a device loss, as gpu@time (e.g. 0@10s)")
 		ckptEvery    = flag.Duration("checkpoint-every", 0, "SwitchFlow host-checkpoint interval (0 = default)")
+		serveEvery   = flag.Duration("serve-every", 0, "make serve jobs open-loop with this arrival period (0 = closed loop)")
+		poisson      = flag.Bool("poisson", false, "draw Poisson inter-arrival times with mean -serve-every")
+		arrivalSeed  = flag.Int64("arrival-seed", 1, "seed for the -poisson arrival process")
+		slo          = flag.Duration("slo", 0, "serving latency SLO; admission control sheds beyond it (0 = admit all)")
+		maxBatch     = flag.Int("max-batch", 0, "fuse up to this many requests per compute launch (0 = no batching)")
+		batchWait    = flag.Duration("batch-wait", 0, "max wait for a sub-target micro-batch to fill")
 	)
 	flag.Parse()
+	serving := servingOpts{
+		every: *serveEvery, poisson: *poisson, seed: *arrivalSeed,
+		slo: *slo, maxBatch: *maxBatch, batchWait: *batchWait,
+	}
 	var err error
 	if *scenarioFlag != "" {
 		err = runScenario(*scenarioFlag)
 	} else {
-		err = run(*machineFlag, *schedFlag, *jobsFlag, *window, *faultSeed, *loseGPU, *ckptEvery)
+		err = run(*machineFlag, *schedFlag, *jobsFlag, *window, *faultSeed, *loseGPU, *ckptEvery, serving)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swrun:", err)
@@ -48,8 +66,37 @@ func main() {
 	}
 }
 
+// servingOpts reshape every serve job from the command line.
+type servingOpts struct {
+	every     time.Duration
+	poisson   bool
+	seed      int64
+	slo       time.Duration
+	maxBatch  int
+	batchWait time.Duration
+}
+
+// apply rewrites a serve job's arrival process and serving policy. Only
+// request-driven jobs are touched; train and infer specs pass through.
+func (o servingOpts) apply(spec *switchflow.JobSpec) {
+	if spec.Train || spec.Saturated {
+		return
+	}
+	if o.every > 0 {
+		spec.ClosedLoop = false
+		spec.ServeEvery = o.every
+		spec.PoissonArrivals = o.poisson
+		if o.poisson {
+			spec.ArrivalSeed = o.seed
+		}
+		spec.MaxBatch = o.maxBatch
+		spec.BatchWait = o.batchWait
+	}
+	spec.SLO = o.slo
+}
+
 func run(machineName, schedName, jobsSpec string, window time.Duration,
-	faultSeed int64, loseGPU string, ckptEvery time.Duration) error {
+	faultSeed int64, loseGPU string, ckptEvery time.Duration, serving servingOpts) error {
 	spec, err := machineSpec(machineName)
 	if err != nil {
 		return err
@@ -75,6 +122,7 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 		if err != nil {
 			return err
 		}
+		serving.apply(&js)
 		// Training jobs fall back to every other GPU on this machine, in
 		// index order, then the CPU. Under fault injection serving jobs
 		// get the same GPU fallbacks so SwitchFlow can migrate them off a
@@ -104,7 +152,17 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 		line := fmt.Sprintf("  %-20s iters=%-6d throughput=%8.1f img/s",
 			job.Name(), job.Iterations(), job.Throughput(window))
 		if job.Requests() > 0 {
-			line += fmt.Sprintf("  p95=%v", job.P95Latency().Round(time.Millisecond))
+			line += fmt.Sprintf("  p95=%v p99=%v",
+				job.P95Latency().Round(time.Millisecond), job.P99Latency().Round(time.Millisecond))
+		}
+		if st := job.ServingStats(); st.Offered > 0 {
+			line += fmt.Sprintf("  served=%d/%d shed=%d", st.Served, st.Offered, st.Shed)
+			if st.Batches > 0 && st.Served > st.Batches {
+				line += fmt.Sprintf(" mean-batch=%.1f", job.MeanBatch())
+			}
+			if serving.slo > 0 {
+				line += fmt.Sprintf(" slo-attained=%.1f%%", job.SLOAttainment())
+			}
 		}
 		fmt.Printf("%s  [%s]\n", line, status)
 	}

@@ -2,7 +2,7 @@
 // model-submission service of §4's future-work note, in the spirit of
 // TF Serving. Clients submit jobs, advance virtual time, and read stats.
 //
-//	swserved -addr :8754 -machine v100
+//	swserved -addr localhost:8754 -machine v100
 //
 //	curl -X POST localhost:8754/v1/jobs -d '{"name":"train","model":"VGG16","batch":32,"train":true,"priority":1}'
 //	curl -X POST localhost:8754/v1/advance -d '{"forMillis":5000}'

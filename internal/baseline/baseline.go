@@ -65,11 +65,13 @@ func (rt *runtime) runInput(j *workload.Job, dev device.ID, onDone func()) {
 	}
 }
 
-// runCompute executes the job's compute stage. A failed intermediate
+// runCompute executes the job's compute stage, sized to the micro-batch
+// the job's batcher hands it (baselines batch greedily — whatever is
+// ready launches, with no max-wait hold). A failed intermediate
 // allocation crashes the job (the TF-style runtime OOM of Figure 7) and
 // releases all of its device memory, as a dying process would.
 func (rt *runtime) runCompute(j *workload.Job, dev device.ID, onDone func()) {
-	v, err := j.Version(dev)
+	v, err := j.NextComputeVersion(dev)
 	if err != nil {
 		j.Crash(err)
 		return

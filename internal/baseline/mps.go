@@ -104,7 +104,7 @@ func (s *MPS) pump(tj *threadedJob) {
 // runComputeReserved is runCompute without the per-iteration intermediate
 // alloc/free (the reservation persists).
 func (s *MPS) runComputeReserved(tj *threadedJob) {
-	v, err := tj.job.Version(tj.dev)
+	v, err := tj.job.NextComputeVersion(tj.dev)
 	if err != nil {
 		tj.job.Crash(err)
 		return

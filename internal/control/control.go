@@ -41,6 +41,18 @@ type JobRequest struct {
 	ServeEveryMS int    `json:"serveEveryMillis,omitempty"`
 	ClosedLoop   bool   `json:"closedLoop,omitempty"`
 	Saturated    bool   `json:"saturated,omitempty"`
+	// PoissonArrivals draws exponential inter-arrival times with mean
+	// serveEveryMillis, seeded by arrivalSeed.
+	PoissonArrivals bool  `json:"poissonArrivals,omitempty"`
+	ArrivalSeed     int64 `json:"arrivalSeed,omitempty"`
+	// SLOMillis sets the serving latency objective; admission control
+	// sheds requests whose projected queueing delay exceeds it.
+	SLOMillis float64 `json:"sloMillis,omitempty"`
+	// MaxBatch enables dynamic micro-batching up to this many requests
+	// per compute launch; BatchWaitMillis bounds how long a sub-target
+	// batch may wait for more requests.
+	MaxBatch        int     `json:"maxBatch,omitempty"`
+	BatchWaitMillis float64 `json:"batchWaitMillis,omitempty"`
 }
 
 // JobInfo is the per-job status payload.
@@ -52,8 +64,19 @@ type JobInfo struct {
 	Iterations int     `json:"iterations"`
 	Requests   int     `json:"requests"`
 	P95Millis  float64 `json:"p95Millis"`
-	Crashed    bool    `json:"crashed"`
-	Error      string  `json:"error,omitempty"`
+	P99Millis  float64 `json:"p99Millis"`
+	// Serving request accounting: offered arrivals, admission-control
+	// sheds, served completions, SLO-met completions, micro-batches
+	// formed, and the derived attainment and mean batch size.
+	Offered          int     `json:"offered,omitempty"`
+	Shed             int     `json:"shed,omitempty"`
+	Served           int     `json:"served,omitempty"`
+	SLOMet           int     `json:"sloMet,omitempty"`
+	Batches          int     `json:"batches,omitempty"`
+	SLOAttainmentPct float64 `json:"sloAttainmentPct,omitempty"`
+	MeanBatch        float64 `json:"meanBatch,omitempty"`
+	Crashed          bool    `json:"crashed"`
+	Error            string  `json:"error,omitempty"`
 }
 
 // StatusInfo is the simulation-wide status payload.
@@ -65,6 +88,10 @@ type StatusInfo struct {
 	Preemptions  int       `json:"preemptions"`
 	Migrations   int       `json:"migrations"`
 	GrantP95Usec float64   `json:"grantP95Micros"`
+	// Aggregate serving counters across all jobs.
+	OfferedRequests  int     `json:"offeredRequests"`
+	ShedRequests     int     `json:"shedRequests"`
+	SLOAttainmentPct float64 `json:"sloAttainmentPct"`
 }
 
 // GPUInfo is per-device status.
@@ -92,7 +119,10 @@ type Server struct {
 	sim     *switchflow.Simulation
 	sched   *switchflow.SwitchFlowScheduler
 	jobs    map[int]*jobEntry
-	nextID  int
+	// order holds job ids in creation (= ascending) order, so listing is
+	// O(jobs) instead of scanning the whole 1..nextID id space.
+	order  []int
+	nextID int
 }
 
 type jobEntry struct {
@@ -155,6 +185,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Migrations:   s.sched.Migrations(),
 		GrantP95Usec: float64(s.sched.PreemptionP95().Microseconds()),
 	}
+	var served, sloMet int
+	for _, entry := range s.jobs {
+		st := entry.job.ServingStats()
+		status.OfferedRequests += st.Offered
+		status.ShedRequests += st.Shed
+		served += st.Served
+		sloMet += st.SLOMet
+	}
+	if served > 0 {
+		status.SLOAttainmentPct = 100 * float64(sloMet) / float64(served)
+	}
 	for i := 0; i < s.sim.GPUCount(); i++ {
 		status.GPUs = append(status.GPUs, GPUInfo{
 			Index:      i,
@@ -173,10 +214,8 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	infos := make([]JobInfo, 0, len(s.jobs))
-	for id := 1; id <= s.nextID; id++ {
-		if entry, ok := s.jobs[id]; ok {
-			infos = append(infos, s.info(entry))
-		}
+	for _, id := range s.order {
+		infos = append(infos, s.info(s.jobs[id]))
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
@@ -265,6 +304,7 @@ func (s *Server) track(model string, job *switchflow.Job) *jobEntry {
 	s.nextID++
 	entry := &jobEntry{id: s.nextID, model: model, job: job}
 	s.jobs[entry.id] = entry
+	s.order = append(s.order, entry.id)
 	return entry
 }
 
@@ -281,17 +321,33 @@ func (s *Server) lookup(r *http.Request) (*jobEntry, error) {
 }
 
 func (s *Server) info(entry *jobEntry) JobInfo {
+	info := jobInfo(entry.id, entry.model, entry.job)
+	info.Device = s.sched.JobDeviceName(entry.job)
+	return info
+}
+
+// jobInfo builds the wire payload for one job; the caller fills Device
+// when a scheduler can name it.
+func jobInfo(id int, model string, job *switchflow.Job) JobInfo {
+	serving := job.ServingStats()
 	info := JobInfo{
-		ID:         entry.id,
-		Name:       entry.job.Name(),
-		Model:      entry.model,
-		Device:     s.sched.JobDeviceName(entry.job),
-		Iterations: entry.job.Iterations(),
-		Requests:   entry.job.Requests(),
-		P95Millis:  entry.job.P95Latency().Seconds() * 1e3,
-		Crashed:    entry.job.Crashed(),
+		ID:               id,
+		Name:             job.Name(),
+		Model:            model,
+		Iterations:       job.Iterations(),
+		Requests:         job.Requests(),
+		P95Millis:        job.P95Latency().Seconds() * 1e3,
+		P99Millis:        job.P99Latency().Seconds() * 1e3,
+		Offered:          serving.Offered,
+		Shed:             serving.Shed,
+		Served:           serving.Served,
+		SLOMet:           serving.SLOMet,
+		Batches:          serving.Batches,
+		SLOAttainmentPct: job.SLOAttainment(),
+		MeanBatch:        job.MeanBatch(),
+		Crashed:          job.Crashed(),
 	}
-	if err := entry.job.Err(); err != nil {
+	if err := job.Err(); err != nil {
 		info.Error = err.Error()
 	}
 	return info
@@ -299,17 +355,22 @@ func (s *Server) info(entry *jobEntry) JobInfo {
 
 func toSpec(req JobRequest) switchflow.JobSpec {
 	return switchflow.JobSpec{
-		Name:         req.Name,
-		Model:        req.Model,
-		Batch:        req.Batch,
-		Train:        req.Train,
-		Priority:     req.Priority,
-		GPU:          req.GPU,
-		FallbackGPUs: req.FallbackGPUs,
-		FallbackCPU:  req.FallbackCPU,
-		ServeEvery:   time.Duration(req.ServeEveryMS) * time.Millisecond,
-		ClosedLoop:   req.ClosedLoop,
-		Saturated:    req.Saturated,
+		Name:            req.Name,
+		Model:           req.Model,
+		Batch:           req.Batch,
+		Train:           req.Train,
+		Priority:        req.Priority,
+		GPU:             req.GPU,
+		FallbackGPUs:    req.FallbackGPUs,
+		FallbackCPU:     req.FallbackCPU,
+		ServeEvery:      time.Duration(req.ServeEveryMS) * time.Millisecond,
+		ClosedLoop:      req.ClosedLoop,
+		Saturated:       req.Saturated,
+		PoissonArrivals: req.PoissonArrivals,
+		ArrivalSeed:     req.ArrivalSeed,
+		SLO:             time.Duration(req.SLOMillis * float64(time.Millisecond)),
+		MaxBatch:        req.MaxBatch,
+		BatchWait:       time.Duration(req.BatchWaitMillis * float64(time.Millisecond)),
 	}
 }
 

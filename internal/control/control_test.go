@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 )
 
@@ -174,6 +175,132 @@ func TestErrorPaths(t *testing.T) {
 	var models []string
 	if code := doJSON(t, "GET", ts.URL+"/v1/models", nil, &models); code != 200 || len(models) != 12 {
 		t.Fatalf("models: %d %v", code, models)
+	}
+}
+
+func TestBatchedServingOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	var created JobInfo
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "serve", Model: "ResNet50", Batch: 1, Priority: 1,
+		ServeEveryMS: 10, SLOMillis: 500, MaxBatch: 8, BatchWaitMillis: 20,
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d", code)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 5000}, nil)
+
+	var info JobInfo
+	doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID), nil, &info)
+	if info.Offered == 0 || info.Served == 0 || info.Batches == 0 {
+		t.Fatalf("serving counters empty: %+v", info)
+	}
+	if info.Served+info.Shed > info.Offered {
+		t.Fatalf("counters inconsistent: %+v", info)
+	}
+	if info.MeanBatch <= 1 {
+		t.Fatalf("meanBatch = %.2f, want > 1 under a 100/s stream", info.MeanBatch)
+	}
+	if info.SLOAttainmentPct <= 0 || info.P99Millis < info.P95Millis {
+		t.Fatalf("SLO/latency stats: %+v", info)
+	}
+
+	var status StatusInfo
+	doJSON(t, "GET", ts.URL+"/v1/status", nil, &status)
+	if status.OfferedRequests != info.Offered || status.ShedRequests != info.Shed {
+		t.Fatalf("status aggregates %+v do not match job %+v", status, info)
+	}
+}
+
+func TestPoissonArrivalsOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	var created JobInfo
+	doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "serve", Model: "MobileNetV2", Batch: 1, Priority: 1,
+		ServeEveryMS: 10, PoissonArrivals: true, ArrivalSeed: 7,
+	}, &created)
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil)
+	var info JobInfo
+	doJSON(t, "GET", fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID), nil, &info)
+	if info.Offered < 120 || info.Offered > 300 {
+		t.Fatalf("Poisson stream offered %d in 2s at mean 100/s", info.Offered)
+	}
+	// An exact-period stream would offer exactly 200.
+	if info.Offered == 200 {
+		t.Fatal("arrival count is exactly periodic; Poisson flag ignored")
+	}
+}
+
+func TestHandlerErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/v1/jobs", "{not json"); code != http.StatusBadRequest {
+		t.Errorf("malformed job JSON status = %d", code)
+	}
+	if code := post("/v1/groups", "[{]"); code != http.StatusBadRequest {
+		t.Errorf("malformed group JSON status = %d", code)
+	}
+	if code := post("/v1/advance", "nope"); code != http.StatusBadRequest {
+		t.Errorf("malformed advance JSON status = %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 0}, nil); code != http.StatusBadRequest {
+		t.Errorf("zero advance status = %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/banana", nil, nil); code != http.StatusNotFound {
+		t.Errorf("non-numeric job id status = %d", code)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/42", nil, nil); code != http.StatusNotFound {
+		t.Errorf("stop of missing job status = %d", code)
+	}
+	// A spec the facade rejects (batch wait without batching) surfaces as
+	// a conflict, not a silent accept.
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "bad", Model: "ResNet50", Batch: 1, ServeEveryMS: 100, BatchWaitMillis: 5,
+	}, nil); code != http.StatusConflict {
+		t.Errorf("invalid batching spec status = %d", code)
+	}
+}
+
+// TestConcurrentClients hammers the server from parallel goroutines; the
+// per-server mutex must serialize every simulation touch (run under
+// -race in CI).
+func TestConcurrentClients(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+					Name: fmt.Sprintf("serve-%d-%d", i, k), Model: "MobileNetV2",
+					Batch: 1, Priority: 1, ServeEveryMS: 50, MaxBatch: 4, BatchWaitMillis: 10,
+				}, nil)
+				doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 20}, nil)
+				doJSON(t, "GET", ts.URL+"/v1/jobs", nil, nil)
+				doJSON(t, "GET", ts.URL+"/v1/status", nil, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	var listed []JobInfo
+	doJSON(t, "GET", ts.URL+"/v1/jobs", nil, &listed)
+	if len(listed) != 40 {
+		t.Fatalf("listed %d jobs after 40 submissions", len(listed))
+	}
+	for i, info := range listed {
+		if info.ID != i+1 {
+			t.Fatalf("listing out of id order at %d: %+v", i, info)
+		}
 	}
 }
 

@@ -113,20 +113,9 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 		Window:    window.String(),
 	}
 	for i, nj := range jobs {
-		info := JobInfo{
-			ID:         i + 1,
-			Name:       nj.job.Name(),
-			Model:      nj.model,
-			Iterations: nj.job.Iterations(),
-			Requests:   nj.job.Requests(),
-			P95Millis:  nj.job.P95Latency().Seconds() * 1e3,
-			Crashed:    nj.job.Crashed(),
-		}
+		info := jobInfo(i+1, nj.model, nj.job)
 		if sf != nil {
 			info.Device = sf.JobDeviceName(nj.job)
-		}
-		if err := nj.job.Err(); err != nil {
-			info.Error = err.Error()
 		}
 		result.Jobs = append(result.Jobs, info)
 	}

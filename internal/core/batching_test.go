@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/workload"
+)
+
+func batchedServeCfg(t *testing.T, name string, prio int) workload.Config {
+	t.Helper()
+	return workload.Config{
+		Name:         name,
+		Model:        spec(t, "ResNet50"),
+		Batch:        1,
+		Kind:         workload.KindServing,
+		Priority:     prio,
+		Device:       device.GPUID(0),
+		ArrivalEvery: 10 * time.Millisecond,
+		MaxBatch:     8,
+		BatchWait:    20 * time.Millisecond,
+	}
+}
+
+// TestManagerFormsMicroBatches drives an open-loop serving job fast enough
+// that requests queue, and checks the manager launches fused micro-batches
+// instead of one compute per request.
+func TestManagerFormsMicroBatches(t *testing.T) {
+	eng, _, m := newHarness(t, Options{}, device.ClassV100)
+	job, err := m.AddJob(batchedServeCfg(t, "serve", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(5 * time.Second)
+	if job.Crashed() {
+		t.Fatalf("job crashed: %v", job.CrashErr)
+	}
+	if job.Serving.Batches == 0 {
+		t.Fatal("no micro-batches launched")
+	}
+	if job.Serving.Served <= job.Serving.Batches {
+		t.Fatalf("Served=%d Batches=%d: batching never fused requests",
+			job.Serving.Served, job.Serving.Batches)
+	}
+	if mean := job.Serving.MeanBatch(); mean <= 1.0 {
+		t.Fatalf("mean batch size %.2f, want > 1", mean)
+	}
+	if job.Serving.Shed != 0 {
+		t.Fatalf("shed %d requests with no SLO", job.Serving.Shed)
+	}
+	if got, want := job.Latencies.Count(), job.Serving.Served; got != int(want) {
+		t.Fatalf("latency samples %d != served %d", got, want)
+	}
+	// Iterations count fused launches, one per micro-batch.
+	if job.Iterations != int(job.Serving.Batches) {
+		t.Fatalf("Iterations=%d Batches=%d, want equal", job.Iterations, job.Serving.Batches)
+	}
+}
+
+// TestBatchedServingSurvivesPreemption runs a batched serving job under a
+// higher-priority request stream that repeatedly preempts it mid-batch,
+// then drains both streams and checks no admitted request was lost: every
+// offered request is either served or shed, never dropped by preemption.
+func TestBatchedServingSurvivesPreemption(t *testing.T) {
+	eng, _, m := newHarness(t, Options{}, device.ClassV100)
+	victim, err := m.AddJob(batchedServeCfg(t, "batched", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	urgent, err := m.AddJob(workload.Config{
+		Name:         "urgent",
+		Model:        spec(t, "MobileNetV2"),
+		Batch:        1,
+		Kind:         workload.KindServing,
+		Priority:     2,
+		Device:       device.GPUID(0),
+		ArrivalEvery: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * time.Second)
+	if m.Preemptions == 0 {
+		t.Fatal("high-priority stream never preempted the batched job")
+	}
+	// Stop the arrival processes only (not the jobs), then drain.
+	victim.StopArrivals()
+	urgent.StopArrivals()
+	eng.Run()
+	if victim.Crashed() || urgent.Crashed() {
+		t.Fatalf("crashes: victim=%v urgent=%v", victim.CrashErr, urgent.CrashErr)
+	}
+	if victim.Serving.Served+victim.Serving.Shed != victim.Serving.Offered {
+		t.Fatalf("request loss: offered=%d served=%d shed=%d",
+			victim.Serving.Offered, victim.Serving.Served, victim.Serving.Shed)
+	}
+	if victim.Serving.Shed != 0 {
+		t.Fatalf("shed %d with no SLO configured", victim.Serving.Shed)
+	}
+	if victim.Serving.Served <= victim.Serving.Batches {
+		t.Fatal("batching degenerated to single-request launches under preemption")
+	}
+}
+
+// TestDisableDynamicBatchingClampsToSingleRequests is the ablation arm:
+// with batching disabled every launch carries exactly one request even
+// though the job asks for MaxBatch 8.
+func TestDisableDynamicBatchingClampsToSingleRequests(t *testing.T) {
+	eng, _, m := newHarness(t, Options{DisableDynamicBatching: true}, device.ClassV100)
+	job, err := m.AddJob(batchedServeCfg(t, "serve", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(3 * time.Second)
+	if job.Crashed() {
+		t.Fatalf("job crashed: %v", job.CrashErr)
+	}
+	if job.Serving.Served == 0 {
+		t.Fatal("no requests served")
+	}
+	if job.Serving.Batches != job.Serving.Served {
+		t.Fatalf("Batches=%d Served=%d: batching ran despite DisableDynamicBatching",
+			job.Serving.Batches, job.Serving.Served)
+	}
+}

@@ -38,6 +38,10 @@ type Options struct {
 	// DisableTempPoolIsolation keeps preempted jobs on the global pool
 	// (ablation): their task dispatch interferes with the preempter.
 	DisableTempPoolIsolation bool
+	// DisableDynamicBatching clamps serving jobs to single-request compute
+	// launches regardless of their MaxBatch (the batching-off arm of the
+	// serving experiment). Admission control still applies.
+	DisableDynamicBatching bool
 	// CheckpointPreemption replaces SwitchFlow's abort-and-resume with
 	// Gandiva-style suspend-resume (§6): the victim finishes its current
 	// mini-batch, checkpoints its full state to host memory, and restores
@@ -146,6 +150,10 @@ func (m *Manager) TempPool() *threadpool.Pool { return m.temp }
 // SwitchFlow's OOM-freedom contract (§3.4).
 func (m *Manager) AddJob(cfg workload.Config) (*workload.Job, error) {
 	m.ctxSeq++
+	if m.opts.DisableDynamicBatching {
+		cfg.MaxBatch = 0
+		cfg.BatchWait = 0
+	}
 	job, err := workload.NewJob(m.eng, m.machine, m.ctxSeq, cfg)
 	if err != nil {
 		return nil, err
@@ -251,6 +259,11 @@ func (m *Manager) pumpCompute(js *jobState) {
 	if !js.job.ComputeRunning && !js.job.InputAvailable() {
 		return
 	}
+	if !js.job.ComputeRunning && js.job.HoldForBatch() {
+		// The micro-batch is still filling; the batch-wait timer (or the
+		// next ready input) re-pumps by the deadline.
+		return
+	}
 	if js.current.Kind != device.KindGPU || m.opts.DisableGPUExclusive {
 		m.startCompute(js)
 		return
@@ -354,7 +367,7 @@ func (m *Manager) startCompute(js *jobState) {
 		js.computeRun.Resume()
 		return
 	}
-	v, err := js.job.Version(js.current)
+	v, err := js.job.NextComputeVersion(js.current)
 	if err != nil {
 		js.job.Crash(err)
 		m.releaseFrom(js)

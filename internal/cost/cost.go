@@ -168,3 +168,31 @@ func CPUDuration(n *graph.Node, class device.CPUClass) time.Duration {
 func LaunchOverhead(class device.GPUClass) time.Duration {
 	return class.LaunchOverhead
 }
+
+// SerialGPUEstimate prices one execution of sub on a GPU of the given
+// class as the serialized sum of per-kernel launch overheads and roofline
+// durations. The dynamic batcher and the admission controller use it to
+// project micro-batch execution time: because the fixed launch overheads
+// and minimum kernel times do not grow with batch size, the estimate
+// scales sub-linearly in the batch — a batch of k requests prices well
+// below k solo requests.
+func SerialGPUEstimate(sub *graph.Subgraph, class device.GPUClass) time.Duration {
+	var total time.Duration
+	for _, n := range sub.Nodes {
+		if d := KernelDuration(n, class); d > 0 {
+			total += class.LaunchOverhead + d
+		}
+	}
+	return total
+}
+
+// SerialCPUEstimate prices one execution of sub on a CPU of the given
+// class as the serialized sum of per-op CPU durations — an upper bound the
+// admission controller uses for all-CPU placements.
+func SerialCPUEstimate(sub *graph.Subgraph, class device.CPUClass) time.Duration {
+	var total time.Duration
+	for _, n := range sub.Nodes {
+		total += CPUDuration(n, class)
+	}
+	return total
+}

@@ -229,3 +229,64 @@ func BenchmarkKernelDurationSlowPath(b *testing.B) {
 		kernelDurationSlow(n, device.ClassV100)
 	}
 }
+
+// TestSerialEstimateSubLinearScaling: the batch pricing the dynamic
+// batcher relies on. Launch overheads and minimum kernel times are fixed
+// per kernel, so a batch-8 inference graph must price strictly below
+// eight batch-1 graphs (and strictly above one).
+func TestSerialEstimateSubLinearScaling(t *testing.T) {
+	spec, err := models.ByName("ResNet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuSub := func(batch int) *graph.Subgraph {
+		g, err := spec.Build(models.BuildConfig{Batch: batch, Training: false, Device: device.GPUID(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs, err := graph.Partition(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sub := range subs {
+			if sub.Device == device.GPUID(0) {
+				return sub
+			}
+		}
+		t.Fatal("no GPU subgraph")
+		return nil
+	}
+	one := SerialGPUEstimate(gpuSub(1), device.ClassV100)
+	eight := SerialGPUEstimate(gpuSub(8), device.ClassV100)
+	if one <= 0 || eight <= 0 {
+		t.Fatalf("estimates must be positive: b1=%v b8=%v", one, eight)
+	}
+	if eight <= one {
+		t.Fatalf("batch 8 (%v) must cost more than batch 1 (%v)", eight, one)
+	}
+	if eight >= 8*one {
+		t.Fatalf("batch 8 (%v) must cost less than 8x batch 1 (%v): batching must amortize launches", eight, 8*one)
+	}
+}
+
+func TestSerialCPUEstimatePositive(t *testing.T) {
+	spec, err := models.ByName("MobileNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build(models.BuildConfig{Batch: 1, Training: false, Device: device.CPUID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := graph.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	for _, sub := range subs {
+		total += SerialCPUEstimate(sub, device.ClassXeonDual)
+	}
+	if total <= 0 {
+		t.Fatalf("all-CPU estimate must be positive, got %v", total)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"switchflow/internal/harness"
+)
+
+// TestBatchingImprovesHighLoadServing is the acceptance check for the
+// serving sweep: at the highest offered load, dynamic batching must
+// strictly beat the unbatched arm on both goodput and SLO attainment of
+// the offered stream, and the unbatched arm must actually be shedding —
+// otherwise the load point is too light to prove anything.
+func TestBatchingImprovesHighLoadServing(t *testing.T) {
+	const window = 10 * time.Second
+	row := ServingPoint(defaultServingRates[len(defaultServingRates)-1], window)
+	b, u := row.Batched, row.Unbatched
+	t.Logf("rate=%.0f/s batched: goodput=%.1f attain=%.1f%% shed=%d mean-batch=%.2f",
+		row.RatePerSec, b.GoodputPS, b.AttainPct, b.Shed, b.MeanBatch)
+	t.Logf("rate=%.0f/s unbatched: goodput=%.1f attain=%.1f%% shed=%d",
+		row.RatePerSec, u.GoodputPS, u.AttainPct, u.Shed)
+
+	if u.Shed == 0 {
+		t.Errorf("unbatched arm shed nothing at %.0f req/s; load point too light to exercise admission", row.RatePerSec)
+	}
+	if b.GoodputPS <= u.GoodputPS {
+		t.Errorf("batching did not improve goodput: batched %.1f <= unbatched %.1f", b.GoodputPS, u.GoodputPS)
+	}
+	if b.AttainPct <= u.AttainPct {
+		t.Errorf("batching did not improve SLO attainment of offered load: batched %.1f%% <= unbatched %.1f%%",
+			b.AttainPct, u.AttainPct)
+	}
+	if b.MeanBatch <= 1 {
+		t.Errorf("batched arm never formed a multi-request batch: mean batch %.2f", b.MeanBatch)
+	}
+	// Both arms saw the identical arrival process.
+	if b.Offered != u.Offered {
+		t.Errorf("arms saw different arrival streams: batched offered %d, unbatched %d", b.Offered, u.Offered)
+	}
+}
+
+// TestServingAccountingConserved checks the request ledger closes in both
+// arms at every rate: after the stream stops and the queues drain, every
+// offered request was either served or shed, never lost or double-counted.
+func TestServingAccountingConserved(t *testing.T) {
+	const window = 3 * time.Second
+	for _, rate := range []float64{50, 400} {
+		row := ServingPoint(rate, window)
+		for _, arm := range []struct {
+			name string
+			a    ServingArm
+		}{{"batched", row.Batched}, {"unbatched", row.Unbatched}} {
+			if arm.a.Offered == 0 {
+				t.Errorf("%.0f req/s %s: no requests offered", rate, arm.name)
+			}
+			if got := arm.a.Served + arm.a.Shed; got != arm.a.Offered {
+				t.Errorf("%.0f req/s %s: served %d + shed %d = %d, want offered %d",
+					rate, arm.name, arm.a.Served, arm.a.Shed, got, arm.a.Offered)
+			}
+		}
+	}
+}
+
+// TestParallelServingMatchesSerial extends the harness determinism
+// contract to the serving sweep: parallel execution must reproduce the
+// serial rows exactly, including shed counts and tail percentiles.
+func TestParallelServingMatchesSerial(t *testing.T) {
+	prev := harness.SetParallelism(1)
+	defer harness.SetParallelism(prev)
+
+	const window = 2 * time.Second
+	serial := ServingSweep(window)
+
+	harness.SetParallelism(8)
+	parallel := ServingSweep(window)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel ServingSweep rows differ from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}

@@ -6,24 +6,61 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 )
 
+// DefaultReservoir bounds the number of samples a Latency retains. The
+// paper's experiments record at most a few thousand samples per job, so
+// they stay exact; a long-running swserved process keeps a uniform random
+// reservoir instead of growing without bound.
+const DefaultReservoir = 8192
+
+// reservoirSeed makes reservoir replacement deterministic: two runs that
+// observe the same sample stream keep identical reservoirs.
+const reservoirSeed = 1
+
 // Latency accumulates duration samples and answers percentile queries.
+// Memory is bounded: once more than DefaultReservoir samples arrive, a
+// uniform reservoir (Vitter's algorithm R with a fixed seed) stands in for
+// the full population. Count, Mean, Min and Max stay exact regardless.
 type Latency struct {
 	samples []time.Duration
 	sorted  bool
+	total   int
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	rng     *rand.Rand
 }
 
 // Add records one sample.
 func (l *Latency) Add(d time.Duration) {
-	l.samples = append(l.samples, d)
-	l.sorted = false
+	l.total++
+	l.sum += d
+	if l.total == 1 || d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	if len(l.samples) < DefaultReservoir {
+		l.samples = append(l.samples, d)
+		l.sorted = false
+		return
+	}
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(reservoirSeed))
+	}
+	if slot := l.rng.Intn(l.total); slot < len(l.samples) {
+		l.samples[slot] = d
+		l.sorted = false
+	}
 }
 
-// Count returns the number of samples.
-func (l *Latency) Count() int { return len(l.samples) }
+// Count returns the number of samples observed (not the reservoir size).
+func (l *Latency) Count() int { return l.total }
 
 // Percentile returns the p-th percentile (p in [0,100]) using
 // nearest-rank; zero with no samples.
@@ -45,43 +82,37 @@ func (l *Latency) Percentile(p float64) time.Duration {
 	return l.samples[rank-1]
 }
 
-// Mean returns the arithmetic mean; zero with no samples.
+// Mean returns the arithmetic mean; zero with no samples. Exact even once
+// the reservoir is sampling.
 func (l *Latency) Mean() time.Duration {
-	if len(l.samples) == 0 {
+	if l.total == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range l.samples {
-		total += s
-	}
-	return total / time.Duration(len(l.samples))
+	return l.sum / time.Duration(l.total)
 }
 
-// Max returns the largest sample; zero with no samples.
-func (l *Latency) Max() time.Duration {
-	if len(l.samples) == 0 {
-		return 0
-	}
-	l.sort()
-	return l.samples[len(l.samples)-1]
-}
+// Max returns the largest sample observed; zero with no samples.
+func (l *Latency) Max() time.Duration { return l.max }
 
-// Min returns the smallest sample; zero with no samples.
+// Min returns the smallest sample observed; zero with no samples.
 func (l *Latency) Min() time.Duration {
-	if len(l.samples) == 0 {
+	if l.total == 0 {
 		return 0
 	}
-	l.sort()
-	return l.samples[0]
+	return l.min
 }
 
 // Below returns how many samples are <= d (SLO attainment numerator).
+// Exact while the population fits the reservoir; a scaled estimate after.
 func (l *Latency) Below(d time.Duration) int {
 	count := 0
 	for _, s := range l.samples {
 		if s <= d {
 			count++
 		}
+	}
+	if l.total > len(l.samples) && len(l.samples) > 0 {
+		return int(math.Round(float64(count) * float64(l.total) / float64(len(l.samples))))
 	}
 	return count
 }
@@ -133,6 +164,53 @@ func (c *FaultCounters) Add(other FaultCounters) {
 	c.Restarts += other.Restarts
 	c.Checkpoints += other.Checkpoints
 	c.IterationsLost += other.IterationsLost
+}
+
+// ServingCounters tracks the admission-control and batching outcomes of
+// one serving job: what arrived, what was shed at the door, what was
+// served, and how much of it met the job's SLO. Fields are plain ints
+// because all mutation happens inside a single simulation's event
+// callbacks.
+type ServingCounters struct {
+	// Offered counts requests generated by the arrival process.
+	Offered int
+	// Shed counts requests rejected by admission control because their
+	// projected queueing delay exceeded the SLO.
+	Shed int
+	// Served counts requests that completed and recorded a latency.
+	Served int
+	// SLOMet counts served requests whose latency was within the SLO.
+	// Zero when the job has no SLO.
+	SLOMet int
+	// Batches counts micro-batches formed (equals Served without dynamic
+	// batching).
+	Batches int
+}
+
+// Add accumulates other into c (aggregation across jobs).
+func (c *ServingCounters) Add(other ServingCounters) {
+	c.Offered += other.Offered
+	c.Shed += other.Shed
+	c.Served += other.Served
+	c.SLOMet += other.SLOMet
+	c.Batches += other.Batches
+}
+
+// AttainmentPct is the percentage of served requests that met the SLO;
+// zero when nothing was served.
+func (c ServingCounters) AttainmentPct() float64 {
+	if c.Served == 0 {
+		return 0
+	}
+	return 100 * float64(c.SLOMet) / float64(c.Served)
+}
+
+// MeanBatch is the average micro-batch size; zero before any batch forms.
+func (c ServingCounters) MeanBatch() float64 {
+	if c.Batches == 0 {
+		return 0
+	}
+	return float64(c.Served) / float64(c.Batches)
 }
 
 // Throughput converts a count over a window into items/second.

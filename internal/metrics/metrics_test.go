@@ -121,6 +121,76 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// TestReservoirBoundsMemory is the unbounded-growth regression: a
+// long-running serving job must not retain every latency sample.
+func TestReservoirBoundsMemory(t *testing.T) {
+	var l Latency
+	const n = 4 * DefaultReservoir
+	for i := 0; i < n; i++ {
+		l.Add(time.Duration(i+1) * time.Microsecond)
+	}
+	if len(l.samples) > DefaultReservoir {
+		t.Fatalf("reservoir holds %d samples, cap %d", len(l.samples), DefaultReservoir)
+	}
+	if l.Count() != n {
+		t.Fatalf("Count() = %d, want %d (total observed, not reservoir size)", l.Count(), n)
+	}
+	if l.Min() != time.Microsecond || l.Max() != n*time.Microsecond {
+		t.Fatalf("Min/Max = %v/%v, want exact extremes", l.Min(), l.Max())
+	}
+	wantMean := time.Duration(n) * time.Duration(n+1) / 2 * time.Microsecond / time.Duration(n)
+	if l.Mean() != wantMean {
+		t.Fatalf("Mean() = %v, want exact %v", l.Mean(), wantMean)
+	}
+	// The median of 1..n microseconds: the reservoir estimate must land
+	// within a few percent of n/2.
+	med := l.Percentile(50)
+	lo := time.Duration(45*n/100) * time.Microsecond
+	hi := time.Duration(55*n/100) * time.Microsecond
+	if med < lo || med > hi {
+		t.Fatalf("reservoir median = %v, want within [%v, %v]", med, lo, hi)
+	}
+	// Below scales to the population: ~half the samples sit below n/2.
+	below := l.Below(time.Duration(n/2) * time.Microsecond)
+	if below < 45*n/100 || below > 55*n/100 {
+		t.Fatalf("Below(n/2) = %d, want ~%d", below, n/2)
+	}
+}
+
+// TestReservoirDeterministic: identical sample streams keep identical
+// reservoirs (simulation determinism must survive the sampling).
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		var l Latency
+		for i := 0; i < 3*DefaultReservoir; i++ {
+			l.Add(time.Duration(i%977) * time.Microsecond)
+		}
+		return l.Percentile(95)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("reservoir not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestServingCounters(t *testing.T) {
+	c := ServingCounters{Offered: 10, Shed: 2, Served: 8, SLOMet: 6, Batches: 4}
+	if got := c.AttainmentPct(); got != 75 {
+		t.Fatalf("AttainmentPct = %v, want 75", got)
+	}
+	if got := c.MeanBatch(); got != 2 {
+		t.Fatalf("MeanBatch = %v, want 2", got)
+	}
+	var zero ServingCounters
+	if zero.AttainmentPct() != 0 || zero.MeanBatch() != 0 {
+		t.Fatal("zero counters must report zero ratios")
+	}
+	sum := c
+	sum.Add(ServingCounters{Offered: 1, Shed: 1, Batches: 1})
+	if sum.Offered != 11 || sum.Shed != 3 || sum.Batches != 5 {
+		t.Fatalf("Add = %+v", sum)
+	}
+}
+
 func TestBelow(t *testing.T) {
 	var l Latency
 	for _, ms := range []int{10, 50, 100, 200, 500} {

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+)
+
+// servingJob builds an open-loop serving job with batching knobs and
+// walks arrivals in by hand (admitArrival), so tests control the queue
+// state without running the arrival process.
+func servingJob(t *testing.T, maxBatch int, slo, wait time.Duration) (*Job, func(n int)) {
+	t.Helper()
+	_, job := testJob(t, Config{
+		Name: "s", Kind: KindServing, Batch: 1,
+		ArrivalEvery: 10 * time.Millisecond,
+		SLO:          slo, MaxBatch: maxBatch, BatchWait: wait,
+	})
+	admit := func(n int) {
+		for i := 0; i < n; i++ {
+			job.admitArrival(job.eng.Now())
+		}
+	}
+	return job, admit
+}
+
+func TestMicroBatchFormation(t *testing.T) {
+	job, admit := servingJob(t, 4, 0, 0)
+	admit(6)
+	if job.PendingRequests() != 6 {
+		t.Fatalf("pending = %d, want 6 (no SLO, nothing shed)", job.PendingRequests())
+	}
+	// Preprocess four requests (PrefetchDepth was raised to MaxBatch).
+	for i := 0; i < 4; i++ {
+		if !job.CanStartInput() {
+			t.Fatalf("input slot %d unavailable with prefetch depth >= MaxBatch", i)
+		}
+		job.BeginInput()
+		job.FinishInput()
+	}
+	job.BeginCompute()
+	if len(job.active) != 4 {
+		t.Fatalf("micro-batch size = %d, want 4", len(job.active))
+	}
+	job.FinishCompute()
+	if job.Iterations != 1 {
+		t.Fatalf("Iterations = %d, want 1 (one fused launch)", job.Iterations)
+	}
+	if job.Serving.Served != 4 || job.Serving.Batches != 1 {
+		t.Fatalf("Served/Batches = %d/%d, want 4/1", job.Serving.Served, job.Serving.Batches)
+	}
+	if job.Latencies.Count() != 4 {
+		t.Fatalf("latency samples = %d, want one per request", job.Latencies.Count())
+	}
+}
+
+func TestBatchedComputeVersionScalesUp(t *testing.T) {
+	job, admit := servingJob(t, 4, 0, 0)
+	v1, err := job.NextComputeVersion(device.GPUID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	admit(4)
+	for i := 0; i < 4; i++ {
+		job.BeginInput()
+		job.FinishInput()
+	}
+	v4, err := job.NextComputeVersion(device.GPUID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4 == v1 {
+		t.Fatal("4-request micro-batch must use its own graph version")
+	}
+	if again, _ := job.NextComputeVersion(device.GPUID(0)); again != v4 {
+		t.Fatal("batched version not memoized")
+	}
+	c1, c4 := serialNodes(v1), serialNodes(v4)
+	if c4 != c1 {
+		t.Fatalf("batched graph has %d compute nodes, base %d — batching must scale the batch dimension, not the graph", c4, c1)
+	}
+}
+
+func serialNodes(v *Version) int { return len(v.Compute.Nodes) }
+
+func TestAdmissionShedsBeyondSLO(t *testing.T) {
+	// A 1 microsecond SLO is unmeetable for any real model: every
+	// open-loop arrival must be shed and nothing enqueued.
+	job, admit := servingJob(t, 4, time.Microsecond, 0)
+	admit(5)
+	if job.Serving.Offered != 5 || job.Serving.Shed != 5 {
+		t.Fatalf("Offered/Shed = %d/%d, want 5/5", job.Serving.Offered, job.Serving.Shed)
+	}
+	if job.PendingRequests() != 0 {
+		t.Fatalf("shed requests were enqueued: %d pending", job.PendingRequests())
+	}
+}
+
+func TestAdmissionAdmitsWithinSLO(t *testing.T) {
+	// A 10 s SLO dwarfs any single-batch execution: nothing is shed
+	// until the backlog projection actually exceeds it.
+	job, admit := servingJob(t, 4, 10*time.Second, 0)
+	admit(3)
+	if job.Serving.Shed != 0 {
+		t.Fatalf("Shed = %d with a 10s SLO and 3 requests", job.Serving.Shed)
+	}
+	if job.PendingRequests() != 3 {
+		t.Fatalf("pending = %d, want 3", job.PendingRequests())
+	}
+}
+
+func TestClosedLoopNeverSheds(t *testing.T) {
+	eng, job := testJob(t, Config{
+		Name: "s", Kind: KindServing, Batch: 1, ClosedLoop: true,
+		SLO: time.Microsecond, // unmeetable, but closed loops self-limit
+	})
+	job.StartArrivals(func() {})
+	eng.Run()
+	if job.Serving.Shed != 0 {
+		t.Fatalf("closed-loop request shed: %d", job.Serving.Shed)
+	}
+	if job.PendingRequests() != 1 {
+		t.Fatalf("pending = %d, want 1", job.PendingRequests())
+	}
+}
+
+func TestHoldForBatchWindow(t *testing.T) {
+	job, admit := servingJob(t, 4, 0, 5*time.Millisecond)
+	notified := 0
+	job.StartArrivals(func() { notified++ })
+	if job.HoldForBatch() {
+		t.Fatal("hold with no ready inputs")
+	}
+	admit(2)
+	job.BeginInput()
+	job.FinishInput()
+	if !job.HoldForBatch() {
+		t.Fatal("one ready input below target must hold while the window is open")
+	}
+	// The max-wait timer re-pumps at the deadline and the hold lapses.
+	job.eng.RunUntil(job.eng.Now() + 6*time.Millisecond)
+	if job.HoldForBatch() {
+		t.Fatal("hold persisted past the batch-wait deadline")
+	}
+	if notified == 0 {
+		t.Fatal("batch-wait timer did not re-pump the scheduler")
+	}
+}
+
+func TestHoldEndsAtTargetBatch(t *testing.T) {
+	job, admit := servingJob(t, 2, 0, time.Hour)
+	admit(2)
+	job.BeginInput()
+	job.FinishInput()
+	if !job.HoldForBatch() {
+		t.Fatal("sub-target batch must hold")
+	}
+	job.BeginInput()
+	job.FinishInput()
+	if job.HoldForBatch() {
+		t.Fatal("full target batch must launch immediately")
+	}
+}
+
+func TestAbandonComputeReturnsMicroBatch(t *testing.T) {
+	job, admit := servingJob(t, 2, 0, 0)
+	admit(2)
+	for i := 0; i < 2; i++ {
+		job.BeginInput()
+		job.FinishInput()
+	}
+	job.BeginCompute()
+	first := append([]time.Duration(nil), job.active...)
+	job.AbandonCompute()
+	if !job.InputAvailable() {
+		t.Fatal("abandoned micro-batch not returned to ready queue")
+	}
+	job.BeginCompute()
+	if len(job.active) != 2 || job.active[0] != first[0] || job.active[1] != first[1] {
+		t.Fatalf("re-formed batch %v, want original %v in arrival order", job.active, first)
+	}
+	job.FinishCompute()
+	if job.Serving.Served != 2 || job.Iterations != 1 {
+		t.Fatalf("Served/Iterations = %d/%d after abandon+retry, want 2/1",
+			job.Serving.Served, job.Iterations)
+	}
+}
+
+func TestTargetBatchRespectsSLOBudget(t *testing.T) {
+	// With no SLO the target is MaxBatch; with a budget only as large a
+	// batch as still fits the SLO may form.
+	free, _ := servingJob(t, 8, 0, 0)
+	if got := free.TargetBatch(); got != 8 {
+		t.Fatalf("TargetBatch() = %d with no SLO, want MaxBatch", got)
+	}
+	tight, _ := servingJob(t, 8, 2*time.Microsecond, 0)
+	if got := tight.TargetBatch(); got != 1 {
+		t.Fatalf("TargetBatch() = %d with unmeetable SLO, want 1", got)
+	}
+}

@@ -68,6 +68,19 @@ type Config struct {
 	// unbounded backlog and no latency accounting — used to measure
 	// inference throughput (Figures 8-10).
 	Saturated bool
+	// SLO is the per-request latency objective of a serving job. When set,
+	// the admission controller sheds arrivals whose projected queueing
+	// delay exceeds it, and completions within it count toward SLO
+	// attainment. Zero disables both.
+	SLO time.Duration
+	// MaxBatch caps the dynamic batcher's micro-batch size: up to MaxBatch
+	// ready requests fuse into one compute launch (graph batch
+	// MaxBatch x Batch). Zero or one disables batching.
+	MaxBatch int
+	// BatchWait bounds how long a batching-aware scheduler holds a
+	// sub-target micro-batch open for more requests. Zero launches
+	// greedily with whatever is ready.
+	BatchWait time.Duration
 	// PrefetchDepth is the input pipeline depth (default 2, the tf.data
 	// prefetch the paper's Figure 3 setup uses).
 	PrefetchDepth int
@@ -118,6 +131,9 @@ type Job struct {
 	CrashErr error
 	// Restarts counts crash-and-restart recoveries (fault injection).
 	Restarts int
+	// Serving tracks the admission-control and batching outcomes of a
+	// serving job: offered, shed, served, SLO-met, and batch counts.
+	Serving metrics.ServingCounters
 
 	// InputsInFlight counts concurrently running input-stage activations
 	// (tf.data overlaps the preprocessing of several batches); together
@@ -132,13 +148,36 @@ type Job struct {
 	streams  map[device.ID]*device.Stream
 	dataPool *threadpool.Pool
 
-	pendingArrivals []time.Duration // serving: request arrival times
-	inFlight        []time.Duration // arrivals whose input stage started
-	inputReady      int
-	arrivalEvent    sim.Event
-	onArrival       func()              // closed-loop re-arm hook
-	weightHome      map[device.ID]int64 // allocated weight bytes
-	intermediate    map[device.ID]int64
+	// Serving request flow, all carrying arrival times: pending (admitted,
+	// not yet preprocessing), inflight (input stage running), ready
+	// (prefetched, awaiting compute), active (the micro-batch the current
+	// compute run serves).
+	pending      arrivalQueue
+	inflight     arrivalQueue
+	ready        arrivalQueue
+	active       []time.Duration
+	inputReady   int
+	arrivalEvent sim.Event
+	// notify gates the closed-loop re-arm; StopArrivals clears it.
+	// pumpHook is the scheduler wakeup for batch-wait timers; it survives
+	// StopArrivals so admitted requests drain (stopped jobs' pumps are
+	// no-ops anyway).
+	notify   func()
+	pumpHook func()
+
+	// Dynamic-batching state (batch.go): memoized micro-batch graph
+	// versions and cost estimates, the resolved target size, and the
+	// max-wait window.
+	batchVersions map[batchKey]*Version
+	batchEst      map[int]time.Duration
+	targetBatch   int
+	batchTimer    sim.Event
+	batchDeadline time.Duration
+	inputEst      time.Duration
+	inputEstKnown bool
+
+	weightHome   map[device.ID]int64 // allocated weight bytes
+	intermediate map[device.ID]int64
 
 	// Checkpoint/restart recovery state (see recovery.go).
 	checkpointIters int
@@ -155,8 +194,17 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 	if cfg.Batch <= 0 {
 		return nil, fmt.Errorf("workload: job %q batch must be positive", cfg.Name)
 	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("workload: job %q max batch must not be negative", cfg.Name)
+	}
 	if cfg.PrefetchDepth == 0 {
 		cfg.PrefetchDepth = 2
+	}
+	if cfg.Kind == KindServing && !cfg.ClosedLoop && !cfg.Saturated &&
+		cfg.PrefetchDepth < cfg.MaxBatch {
+		// The batcher can only fuse requests that are prefetched and
+		// ready, so the pipeline must stage at least a full micro-batch.
+		cfg.PrefetchDepth = cfg.MaxBatch
 	}
 	// Each job owns its tf.data worker pool, as TF datasets do; the
 	// paper's setups use 32 parallel data workers, capped by core count.
@@ -165,15 +213,17 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 		dataWorkers = machine.CPU.Cores
 	}
 	j := &Job{
-		Cfg:          cfg,
-		Ctx:          ctx,
-		eng:          eng,
-		machine:      machine,
-		versions:     make(map[device.ID]*Version),
-		streams:      make(map[device.ID]*device.Stream),
-		dataPool:     threadpool.New(eng, "data:"+cfg.Name, dataWorkers),
-		weightHome:   make(map[device.ID]int64),
-		intermediate: make(map[device.ID]int64),
+		Cfg:           cfg,
+		Ctx:           ctx,
+		eng:           eng,
+		machine:       machine,
+		versions:      make(map[device.ID]*Version),
+		streams:       make(map[device.ID]*device.Stream),
+		dataPool:      threadpool.New(eng, "data:"+cfg.Name, dataWorkers),
+		batchVersions: make(map[batchKey]*Version),
+		batchEst:      make(map[int]time.Duration),
+		weightHome:    make(map[device.ID]int64),
+		intermediate:  make(map[device.ID]int64),
 	}
 	devices := append([]device.ID{cfg.Device}, cfg.Fallbacks...)
 	for _, dev := range devices {
@@ -190,8 +240,14 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 }
 
 func (j *Job) buildVersion(dev device.ID) (*Version, error) {
+	return j.buildVersionBatch(dev, j.Cfg.Batch)
+}
+
+// buildVersionBatch builds a graph version for an explicit graph-level
+// batch size (a micro-batch of k requests runs at k x Cfg.Batch).
+func (j *Job) buildVersionBatch(dev device.ID, batch int) (*Version, error) {
 	g, err := j.Cfg.Model.Build(models.BuildConfig{
-		Batch:         j.Cfg.Batch,
+		Batch:         batch,
 		Training:      j.Cfg.Kind == KindTraining,
 		Device:        dev,
 		PreprocShards: j.Cfg.PreprocShards,
@@ -257,9 +313,15 @@ func (j *Job) WeightBytes() int64 {
 	return j.Cfg.Model.ParamBytes()
 }
 
-// IntermediateBytes is the per-iteration scratch footprint.
+// IntermediateBytes is the peak per-iteration scratch footprint: the
+// full micro-batch for a batching serving job (what an up-front process
+// reservation like MPS must cover), the configured mini-batch otherwise.
 func (j *Job) IntermediateBytes() int64 {
-	return j.Cfg.Model.IntermediateBytes(j.Cfg.Batch, j.Training())
+	batch := j.Cfg.Batch
+	if j.batchingEnabled() {
+		batch *= j.Cfg.MaxBatch
+	}
+	return j.Cfg.Model.IntermediateBytes(batch, j.Training())
 }
 
 // AllocWeights reserves the job's persistent state on dev. Host memory is
@@ -291,12 +353,13 @@ func (j *Job) FreeWeights(dev device.ID) {
 // WeightsOn reports whether persistent state is resident on dev.
 func (j *Job) WeightsOn(dev device.ID) bool { return j.weightHome[dev] > 0 }
 
-// AllocIntermediate reserves the iteration scratch on dev.
+// AllocIntermediate reserves the iteration scratch on dev, sized to the
+// micro-batch the next compute launch will consume.
 func (j *Job) AllocIntermediate(dev device.ID) error {
 	if dev.Kind != device.KindGPU {
 		return nil
 	}
-	n := j.IntermediateBytes()
+	n := j.Cfg.Model.IntermediateBytes(j.computeBatchSize()*j.Cfg.Batch, j.Training())
 	if err := j.machine.GPU(dev.Index).Mem.Alloc(n); err != nil {
 		return err
 	}
@@ -317,18 +380,23 @@ func (j *Job) FreeIntermediate(dev device.ID) {
 }
 
 // StartArrivals begins the serving job's request stream. onNew fires after
-// each arrival is enqueued (schedulers pump their pipeline there). In open
-// loop the first request arrives after one period; in closed loop it
-// arrives immediately and each completion triggers the next.
+// each admitted arrival is enqueued (schedulers pump their pipeline
+// there); shed arrivals are counted and dropped without a callback. In
+// open loop the first request arrives after one period; in closed loop it
+// arrives immediately and each completion triggers the next. Every
+// scheduled arrival is tracked in arrivalEvent, so StopArrivals cancels
+// the stream even before the first request lands.
 func (j *Job) StartArrivals(onNew func()) {
 	if j.Cfg.Kind != KindServing {
 		return
 	}
+	j.notify = onNew
+	j.pumpHook = onNew
 	if j.Cfg.ClosedLoop {
-		j.onArrival = onNew
-		j.eng.After(0, func() {
-			j.pendingArrivals = append(j.pendingArrivals, j.eng.Now())
-			onNew()
+		j.arrivalEvent = j.eng.After(0, func() {
+			if j.admitArrival(j.eng.Now()) {
+				onNew()
+			}
 		})
 		return
 	}
@@ -348,22 +416,27 @@ func (j *Job) StartArrivals(onNew func()) {
 	}
 	var tick func()
 	tick = func() {
-		j.pendingArrivals = append(j.pendingArrivals, j.eng.Now())
+		admitted := j.admitArrival(j.eng.Now())
 		j.arrivalEvent = j.eng.After(interval(), tick)
-		onNew()
+		if admitted {
+			onNew()
+		}
 	}
 	j.arrivalEvent = j.eng.After(interval(), tick)
 }
 
-// StopArrivals halts the request stream.
+// StopArrivals halts the request stream. The batch-wait timer is left
+// armed on purpose: a held sub-target micro-batch must still launch at
+// its deadline so already-admitted requests drain after the stream stops
+// (a stopped or crashed job's pump ignores the wakeup anyway).
 func (j *Job) StopArrivals() {
 	j.arrivalEvent.Cancel()
 	j.arrivalEvent = sim.Event{}
-	j.onArrival = nil
+	j.notify = nil
 }
 
 // PendingRequests returns enqueued-but-unstarted request count.
-func (j *Job) PendingRequests() int { return len(j.pendingArrivals) }
+func (j *Job) PendingRequests() int { return j.pending.Len() }
 
 // HasWork reports whether an iteration could start: training and
 // saturated serving always have work; open/closed-loop serving needs a
@@ -372,7 +445,7 @@ func (j *Job) HasWork() bool {
 	if j.Training() || j.Cfg.Saturated {
 		return true
 	}
-	return len(j.pendingArrivals) > 0 || j.inputReady > 0 || len(j.inFlight) > 0
+	return j.pending.Len() > 0 || j.inputReady > 0 || j.inflight.Len() > 0
 }
 
 // CanStartInput reports whether another input-stage run may begin: a
@@ -382,45 +455,69 @@ func (j *Job) CanStartInput() bool {
 	if j.inputReady+j.InputsInFlight >= j.Cfg.PrefetchDepth {
 		return false
 	}
-	if !j.Training() && !j.Cfg.Saturated && len(j.pendingArrivals) == 0 {
+	if !j.Training() && !j.Cfg.Saturated && j.pending.Len() == 0 {
 		return false
 	}
 	return true
 }
 
 // BeginInput transitions a request (or training batch) into the input
-// stage. Callers must have checked CanStartInput.
+// stage. Requests preprocess individually — batching happens at compute
+// launch, over ready inputs — so one BeginInput moves one request.
+// Callers must have checked CanStartInput.
 func (j *Job) BeginInput() {
 	j.InputsInFlight++
-	if !j.Training() && !j.Cfg.Saturated && len(j.pendingArrivals) > 0 {
-		j.inFlight = append(j.inFlight, j.pendingArrivals[0])
-		j.pendingArrivals = j.pendingArrivals[1:]
+	if !j.Training() && !j.Cfg.Saturated && j.pending.Len() > 0 {
+		j.inflight.Push(j.pending.Pop())
 	}
 }
 
-// FinishInput marks one in-flight input as prefetched and ready.
+// FinishInput marks one in-flight input as prefetched and ready. Input
+// runs are FIFO with equal per-request cost, so the oldest in-flight
+// request is the one that finished.
 func (j *Job) FinishInput() {
 	if j.InputsInFlight <= 0 {
 		panic("workload: FinishInput without BeginInput")
 	}
 	j.InputsInFlight--
 	j.inputReady++
+	if !j.Training() && !j.Cfg.Saturated && j.inflight.Len() > 0 {
+		j.ready.Push(j.inflight.Pop())
+		j.noteInputReady()
+	}
 }
 
 // InputAvailable reports whether a prefetched input is waiting.
 func (j *Job) InputAvailable() bool { return j.inputReady > 0 }
 
-// BeginCompute consumes one ready input.
+// BeginCompute consumes ready inputs for one compute launch: a serving
+// job takes up to TargetBatch requests as the active micro-batch,
+// training and saturated jobs take one.
 func (j *Job) BeginCompute() {
 	if j.inputReady <= 0 {
 		panic("workload: BeginCompute without ready input")
 	}
-	j.inputReady--
+	if j.Training() || j.Cfg.Saturated || j.ready.Len() == 0 {
+		j.inputReady--
+		j.ComputeRunning = true
+		return
+	}
+	k := j.computeBatchSize()
+	if k > j.ready.Len() {
+		k = j.ready.Len()
+	}
+	j.active = j.ready.PopN(k)
+	j.inputReady -= k
 	j.ComputeRunning = true
+	if j.ready.Len() > 0 && j.batchingEnabled() && j.Cfg.BatchWait > 0 {
+		// Leftover ready requests start the next micro-batch's window.
+		j.openBatchWindow()
+	}
 }
 
-// FinishCompute completes an iteration, recording serving latency and
-// re-arming the closed loop.
+// FinishCompute completes an iteration: every request in the active
+// micro-batch records its latency and SLO outcome, and a closed loop
+// re-arms its next (tracked, cancellable) arrival.
 func (j *Job) FinishCompute() {
 	j.ComputeRunning = false
 	j.Iterations++
@@ -428,23 +525,41 @@ func (j *Job) FinishCompute() {
 	if j.Training() || j.Cfg.Saturated {
 		return
 	}
-	if len(j.inFlight) > 0 {
-		arrived := j.inFlight[0]
-		j.inFlight = j.inFlight[1:]
-		j.Latencies.Add(j.eng.Now() - arrived)
+	if len(j.active) > 0 {
+		j.Serving.Batches++
+		now := j.eng.Now()
+		for _, arrived := range j.active {
+			lat := now - arrived
+			j.Latencies.Add(lat)
+			j.Serving.Served++
+			if j.Cfg.SLO > 0 && lat <= j.Cfg.SLO {
+				j.Serving.SLOMet++
+			}
+		}
+		j.active = nil
 	}
-	if j.Cfg.ClosedLoop && j.onArrival != nil {
-		j.pendingArrivals = append(j.pendingArrivals, j.eng.Now())
-		onArrival := j.onArrival
-		j.eng.After(0, onArrival)
+	if j.Cfg.ClosedLoop && j.notify != nil {
+		notify := j.notify
+		j.arrivalEvent = j.eng.After(0, func() {
+			if j.admitArrival(j.eng.Now()) {
+				notify()
+			}
+		})
 	}
 }
 
-// AbandonCompute returns the consumed input to the ready pool after a
+// AbandonCompute returns the consumed inputs to the ready pool after a
 // preemption aborts the compute stage; the new session run is repopulated
-// with the same tasks so no work is lost (§3.3).
+// with the same tasks so no work is lost (§3.3). A serving job's whole
+// micro-batch goes back to the front of the ready queue in arrival order.
 func (j *Job) AbandonCompute() {
 	j.ComputeRunning = false
+	if len(j.active) > 0 {
+		j.inputReady += len(j.active)
+		j.ready.PushFront(j.active)
+		j.active = nil
+		return
+	}
 	j.inputReady++
 }
 

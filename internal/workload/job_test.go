@@ -157,6 +157,45 @@ func TestClosedLoopArrivals(t *testing.T) {
 	}
 }
 
+// TestStopBeforeFirstClosedLoopArrival is the StartArrivals regression:
+// the initial closed-loop request was scheduled through an untracked
+// After(0, ...) handle, so a job stopped immediately after submission
+// still enqueued a request and invoked the scheduler callback.
+func TestStopBeforeFirstClosedLoopArrival(t *testing.T) {
+	eng, job := testJob(t, Config{
+		Name: "s", Kind: KindServing, Batch: 1, ClosedLoop: true,
+	})
+	fired := false
+	job.StartArrivals(func() { fired = true })
+	job.StopArrivals() // same instant, before the initial arrival lands
+	eng.Run()
+	if fired {
+		t.Fatal("scheduler callback fired after StopArrivals")
+	}
+	if job.PendingRequests() != 0 {
+		t.Fatalf("stopped job enqueued %d requests", job.PendingRequests())
+	}
+}
+
+// The closed-loop re-arm must be cancellable too: stopping between a
+// completion and its re-armed arrival drops the next request.
+func TestStopCancelsClosedLoopRearm(t *testing.T) {
+	eng, job := testJob(t, Config{
+		Name: "s", Kind: KindServing, Batch: 1, ClosedLoop: true,
+	})
+	job.StartArrivals(func() {})
+	eng.Run()
+	job.BeginInput()
+	job.FinishInput()
+	job.BeginCompute()
+	job.FinishCompute()
+	job.StopArrivals()
+	eng.Run()
+	if job.PendingRequests() != 0 {
+		t.Fatalf("re-arm survived StopArrivals: %d pending", job.PendingRequests())
+	}
+}
+
 func TestSaturatedServingAlwaysHasWork(t *testing.T) {
 	_, job := testJob(t, Config{Name: "s", Kind: KindServing, Saturated: true})
 	if !job.HasWork() || !job.CanStartInput() {

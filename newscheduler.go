@@ -127,6 +127,13 @@ func WithCheckpointPreemption() Option {
 	return func(c *schedulerConfig) { c.core.CheckpointPreemption = true }
 }
 
+// WithoutDynamicBatching clamps serving jobs to single-request compute
+// launches regardless of their MaxBatch (the batching-off arm of the
+// serving experiment). Admission control still applies.
+func WithoutDynamicBatching() Option {
+	return func(c *schedulerConfig) { c.core.DisableDynamicBatching = true }
+}
+
 // NewSwitchFlowScheduler builds the SwitchFlow policy with its concrete
 // type, for callers that need the extended surface (AddSharedGroup,
 // preemption and recovery stats). Equivalent to NewScheduler(

@@ -148,6 +148,17 @@ type JobSpec struct {
 	PoissonArrivals bool
 	// ArrivalSeed seeds the stochastic arrival process.
 	ArrivalSeed int64
+	// SLO is the serving latency objective. Admission control sheds an
+	// arriving request when its projected queueing delay exceeds the SLO;
+	// zero admits everything.
+	SLO time.Duration
+	// MaxBatch enables dynamic micro-batching: up to MaxBatch queued
+	// requests fuse into one compute launch (open-loop serving only).
+	// Zero or one keeps single-request launches.
+	MaxBatch int
+	// BatchWait bounds how long a sub-target micro-batch may hold the
+	// launch waiting for more requests. Requires MaxBatch > 1.
+	BatchWait time.Duration
 	// Eager runs the model in dynamic-graph mode (per-op dispatch, no
 	// graph optimization).
 	Eager bool
@@ -185,9 +196,24 @@ func (spec JobSpec) Validate() error {
 	if spec.ServeEvery < 0 {
 		return fail("ServeEvery must be non-negative, got %v", spec.ServeEvery)
 	}
+	if spec.SLO < 0 {
+		return fail("SLO must be non-negative, got %v", spec.SLO)
+	}
+	if spec.MaxBatch < 0 {
+		return fail("MaxBatch must be non-negative, got %d", spec.MaxBatch)
+	}
+	if spec.BatchWait < 0 {
+		return fail("BatchWait must be non-negative, got %v", spec.BatchWait)
+	}
+	if spec.BatchWait > 0 && spec.MaxBatch <= 1 {
+		return fail("BatchWait needs MaxBatch > 1 to have a batch to wait for")
+	}
 	if spec.Train {
 		if spec.ServeEvery > 0 || spec.ClosedLoop || spec.Saturated || spec.PoissonArrivals {
 			return fail("training job %q must not set serving modes (ServeEvery/ClosedLoop/Saturated/PoissonArrivals)", spec.Name)
+		}
+		if spec.SLO > 0 || spec.MaxBatch > 0 {
+			return fail("training job %q must not set serving SLO or MaxBatch", spec.Name)
 		}
 		return nil
 	}
@@ -238,6 +264,9 @@ func (spec JobSpec) toConfig() (workload.Config, error) {
 		ArrivalSeed:     spec.ArrivalSeed,
 		ClosedLoop:      spec.ClosedLoop,
 		Saturated:       spec.Saturated,
+		SLO:             spec.SLO,
+		MaxBatch:        spec.MaxBatch,
+		BatchWait:       spec.BatchWait,
 		Eager:           spec.Eager,
 		Fuse:            spec.Fuse,
 	}, nil
@@ -251,19 +280,30 @@ type Job struct {
 // Name returns the job's name.
 func (j *Job) Name() string { return j.inner.Cfg.Name }
 
-// Iterations returns completed training steps or served requests.
+// Iterations returns completed training steps or compute launches (one
+// per micro-batch for a batched serving job).
 func (j *Job) Iterations() int { return j.inner.Iterations }
 
 // Throughput returns images (or sequences) per second over the window.
+// For request-driven serving it counts served requests (a fused
+// micro-batch launch carries several), so batched and unbatched runs
+// compare on the same scale; training and saturated serving count
+// iterations times the mini-batch size as before.
 func (j *Job) Throughput(window time.Duration) float64 {
 	if window <= 0 {
 		return 0
+	}
+	if j.inner.Cfg.Kind == workload.KindServing && !j.inner.Cfg.Saturated {
+		return float64(j.inner.Serving.Served*j.inner.Cfg.Batch) / window.Seconds()
 	}
 	return float64(j.inner.Iterations*j.inner.Cfg.Batch) / window.Seconds()
 }
 
 // P95Latency returns the 95th-percentile serving latency.
 func (j *Job) P95Latency() time.Duration { return j.inner.Latencies.Percentile(95) }
+
+// P99Latency returns the 99th-percentile serving latency.
+func (j *Job) P99Latency() time.Duration { return j.inner.Latencies.Percentile(99) }
 
 // MeanLatency returns the mean serving latency.
 func (j *Job) MeanLatency() time.Duration { return j.inner.Latencies.Mean() }
@@ -275,6 +315,39 @@ func (j *Job) Requests() int { return j.inner.Latencies.Count() }
 // fault (crash-and-restart or fault-driven migration). Always zero under
 // the baselines — they have no recovery path.
 func (j *Job) Restarts() int { return j.inner.Restarts }
+
+// ServingStats snapshots a serving job's request accounting: what the
+// arrival process offered, what admission control shed, what was served,
+// how much of it met the SLO, and how many micro-batches formed.
+type ServingStats struct {
+	Offered int
+	Shed    int
+	Served  int
+	SLOMet  int
+	Batches int
+}
+
+// ServingStats returns the job's request counters; all zero for training.
+func (j *Job) ServingStats() ServingStats {
+	s := j.inner.Serving
+	return ServingStats{
+		Offered: s.Offered,
+		Shed:    s.Shed,
+		Served:  s.Served,
+		SLOMet:  s.SLOMet,
+		Batches: s.Batches,
+	}
+}
+
+// Shed returns how many requests admission control rejected.
+func (j *Job) Shed() int { return j.inner.Serving.Shed }
+
+// SLOAttainment returns the percentage of served requests that met the
+// job's SLO; zero when nothing was served or no SLO is set.
+func (j *Job) SLOAttainment() float64 { return j.inner.Serving.AttainmentPct() }
+
+// MeanBatch returns the average micro-batch size across all launches.
+func (j *Job) MeanBatch() float64 { return j.inner.Serving.MeanBatch() }
 
 // Crashed reports whether the job died (e.g. OOM under a baseline).
 func (j *Job) Crashed() bool { return j.inner.Crashed() }
