@@ -5,15 +5,46 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build vet test race bench bench-json results examples
+# Pinned external tool versions — the single source of truth, reused by
+# the CI lint job. Bump here and CI follows. (These tools are not module
+# dependencies: the build environment may be offline, so `make lint`
+# skips any that are not already installed.)
+STATICCHECK_VERSION := 2024.1.1
+GOVULNCHECK_VERSION := v1.1.3
 
-all: build vet test race
+.PHONY: all build vet lint test race bench bench-json results examples \
+	install-lint-tools
+
+all: build vet lint test race
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Static analysis: go vet, then swlint (the project's own determinism and
+# concurrency checks — see docs/architecture.md "Determinism & concurrency
+# invariants"), then staticcheck and govulncheck when installed. swlint is
+# plain module code, so it always runs, offline included; the external
+# tools are best-effort locally and mandatory in CI.
+lint: vet
+	go run ./cmd/swlint ./...
+	@if command -v staticcheck >/dev/null; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (make install-lint-tools)"; \
+	fi
+	@if command -v govulncheck >/dev/null; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (make install-lint-tools)"; \
+	fi
+
+# Install the pinned external lint tools (requires network access).
+install-lint-tools:
+	go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 test:
 	go test ./... 2>&1 | tee test_output.txt

@@ -1,0 +1,111 @@
+// Command swlint runs the project's static-analysis suite: the custom
+// determinism and concurrency checks that keep the simulation replayable
+// (byte-identical serial vs -parallel sweeps) and the control plane
+// deadlock-free. See internal/analysis and docs/architecture.md
+// ("Determinism & concurrency invariants") for the rules.
+//
+// Usage:
+//
+//	swlint [-run analyzer,...] [./...]
+//	swlint -list
+//
+// swlint always analyzes the whole module (the only supported pattern is
+// ./..., accepted for muscle-memory compatibility with go vet). Findings
+// print in file:line:col: analyzer: message form; the exit status is 1
+// when any finding survives //swlint:allow suppression. Test files are
+// not analyzed: tests may use wall clock, goroutines, and literal seeds
+// freely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"switchflow/internal/analysis"
+	"switchflow/internal/analysis/load"
+	"switchflow/internal/analysis/suite"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	findings, err := lint(*run, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "swlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func lint(run string, args []string) ([]analysis.Finding, error) {
+	for _, arg := range args {
+		if arg != "./..." {
+			return nil, fmt.Errorf("unsupported package pattern %q (swlint analyzes the whole module; use ./...)", arg)
+		}
+	}
+	analyzers, err := selectAnalyzers(run)
+	if err != nil {
+		return nil, err
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, modulePath, err := load.ModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	l := load.New(root, modulePath)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	var findings []analysis.Finding
+	for _, p := range pkgs {
+		fs, err := analysis.Run(l.Fset(), p.Files, p.Types, p.Info, analyzers, suite.Names())
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	analysis.SortFindings(findings)
+	return findings, nil
+}
+
+func selectAnalyzers(run string) ([]*analysis.Analyzer, error) {
+	all := suite.Analyzers()
+	if run == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run swlint -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}

@@ -15,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"switchflow/internal/control"
 )
@@ -37,5 +38,13 @@ func run(addr, machine string) error {
 		return err
 	}
 	log.Printf("swserved: machine %q listening on %s", machine, addr)
-	return http.ListenAndServe(addr, server.Handler())
+	// Header and idle timeouts bound how long a slow or stalled client can
+	// pin a connection; without them every accepted conn is held forever.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
 }

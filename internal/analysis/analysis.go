@@ -1,0 +1,133 @@
+// Package analysis is a self-contained, stdlib-only static-analysis
+// framework in the shape of golang.org/x/tools/go/analysis, sized for
+// this repository's needs. It exists because the reproduction's headline
+// property — byte-identical serial vs -parallel sweep results and
+// deterministic fault plans — rests on invariants (no wall-clock reads in
+// the simulated world, no shared global randomness, no order derived from
+// map iteration, no blocking work under the control-plane mutex) that
+// used to live only in reviewers' heads. The analyzers under
+// internal/analysis/* encode them as compiler-checked rules; cmd/swlint
+// runs the whole suite and make lint / CI enforce it.
+//
+// The framework deliberately mirrors go/analysis: an Analyzer bundles a
+// name, documentation, and a Run function over a Pass; a Pass hands the
+// analyzer one type-checked package and collects Diagnostics. Legitimate
+// exceptions are annotated in source with
+//
+//	//swlint:allow <analyzer> <reason>
+//
+// which suppresses that analyzer's findings on the directive's line (for
+// trailing comments) or on the line below (for standalone comments). A
+// reason is mandatory; malformed directives are themselves findings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run reports findings through the Pass; it
+// must not retain the Pass after returning.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //swlint:allow
+	// directives. It must be a lowercase identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is a diagnostic with its position resolved, ready to print.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to the package and returns the findings that
+// survive //swlint:allow suppression, plus findings for malformed
+// directives, sorted by position. known lists every analyzer name valid
+// in directives (usually the full suite, even when running a subset, so
+// suppressions for other analyzers are not reported as unknown).
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, known []string) ([]Finding, error) {
+	dirs, bad := CollectDirectives(fset, files, known)
+	findings := append([]Finding(nil), bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+		for _, d := range pass.diagnostics {
+			pos := fset.Position(d.Pos)
+			if dirs.Suppressed(a.Name, pos) {
+				continue
+			}
+			findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

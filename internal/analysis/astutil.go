@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgCall reports whether call invokes a package-level function of the
+// package with the given import path (e.g. time.Now, rand.Intn), and
+// returns the function name. Method calls and calls through variables do
+// not match.
+func PkgCall(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// IsConversion reports whether call is a type conversion rather than a
+// function call.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// CalleeFunc returns the declared function or method a call statically
+// resolves to, or nil for dynamic calls (function values), conversions,
+// and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// NamedTypePath renders the full path of a (possibly pointer-wrapped)
+// named type, e.g. "sync.Mutex" or "net/http.ResponseWriter"; ok is false
+// for unnamed types.
+func NamedTypePath(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name(), true
+	}
+	return obj.Pkg().Path() + "." + obj.Name(), true
+}

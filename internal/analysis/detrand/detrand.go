@@ -1,0 +1,94 @@
+// Package detrand forbids nondeterministic or shared randomness. Every
+// random draw in the simulation must come from a locally owned *rand.Rand
+// seeded from a spec or plan seed — the way internal/fault derives its
+// injection schedule from FaultPlan.Seed and internal/workload derives
+// Poisson arrivals from ArrivalSeed. Two rules:
+//
+//  1. Top-level math/rand (and math/rand/v2) functions are banned: they
+//     draw from process-global state, so concurrent experiment cells
+//     steal draws from each other and no run is reproducible. rand.Seed
+//     is banned for the same reason — it mutates the shared source.
+//
+//  2. Constant seeds are banned in source constructors (rand.NewSource,
+//     rand.NewPCG, rand.NewChaCha8): a literal seed hard-wires one
+//     stream into the binary, which correlates components that are
+//     supposed to sample independently and hides the seed from sweep
+//     configuration. Seeds must flow in from a spec, plan, or flag.
+//     Deliberate fixed seeds carry //swlint:allow detrand <reason>.
+package detrand
+
+import (
+	"go/ast"
+
+	"switchflow/internal/analysis"
+)
+
+// constructors are the math/rand entry points allowed at top level —
+// everything else on the package is shared-state.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 additions.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"N":          false, // v2 top-level generic draw — still global state
+}
+
+// seedSources are the constructors whose arguments are seeds.
+var seedSources = map[string]bool{
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand state and constant seeds; randomness must be a locally owned *rand.Rand seeded from a spec/plan seed",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+				name, ok := analysis.PkgCall(pass.TypesInfo, call, pkg)
+				if !ok {
+					continue
+				}
+				if !constructors[name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the process-global source, which is shared across experiment cells and unseeded; use a locally owned *rand.Rand seeded from the spec/plan seed", name)
+					return true
+				}
+				if seedSources[name] && allConstant(pass, call.Args) {
+					pass.Reportf(call.Pos(),
+						"rand.%s with a constant seed bakes one fixed stream into the binary; derive the seed from a spec/plan seed so runs are configurable and components sample independently", name)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// allConstant reports whether every argument is a compile-time constant
+// (and there is at least one argument).
+func allConstant(pass *analysis.Pass, args []ast.Expr) bool {
+	if len(args) == 0 {
+		return false
+	}
+	for _, a := range args {
+		tv, ok := pass.TypesInfo.Types[a]
+		if !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return true
+}

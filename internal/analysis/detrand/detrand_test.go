@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"switchflow/internal/analysis/analysistest"
+	"switchflow/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "detrand")
+}

@@ -1,0 +1,43 @@
+// Package detrand exercises the detrand analyzer: top-level math/rand
+// draws and constant seeds are flagged; locally owned generators seeded
+// from configuration are not.
+package detrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Spec models a config-sourced seed, the blessed way in.
+type Spec struct{ Seed int64 }
+
+// bad draws from the process-global source.
+func bad() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	_ = randv2.IntN(10)                // want `rand\.IntN draws from the process-global source`
+}
+
+// constSeed hard-wires one stream into the binary.
+func constSeed() {
+	_ = rand.New(rand.NewSource(42)) // want `rand\.NewSource with a constant seed`
+	_ = randv2.NewPCG(1, 2)          // want `rand\.NewPCG with a constant seed`
+}
+
+// good owns its generator and takes the seed from the spec.
+func good(spec Spec) int {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	return rng.Intn(10)
+}
+
+// goodDerived may transform the configured seed arbitrarily.
+func goodDerived(spec Spec, cell int) *rand.Rand {
+	return rand.New(rand.NewSource(spec.Seed + int64(cell)*7919))
+}
+
+// allowed pins a seed on purpose and says why.
+func allowed() *rand.Rand {
+	//swlint:allow detrand fixed seed keeps the percentile reservoir replayable
+	return rand.New(rand.NewSource(7))
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a swlint source directive. Like go:build and
+// nolint directives, it is a //-comment with no space after the slashes.
+const directivePrefix = "//swlint:"
+
+// allowDirective records one parsed //swlint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	// lines are the source lines the directive suppresses: its own line,
+	// and the following line when the comment stands alone.
+	lines [2]int
+	file  string
+}
+
+// Directives indexes the allow directives of one package.
+type Directives struct {
+	allows []allowDirective
+}
+
+// CollectDirectives parses every //swlint: comment in the files. Malformed
+// directives (wrong verb, missing analyzer, unknown analyzer, missing
+// reason) are returned as findings — a suppression that silently does
+// nothing is worse than none at all. known lists the analyzer names valid
+// in directives.
+func CollectDirectives(fset *token.FileSet, files []*ast.File, known []string) (*Directives, []Finding) {
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	d := &Directives{}
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{Position: fset.Position(pos), Analyzer: "directive", Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "allow" {
+					report(c.Pos(), "unknown swlint directive //swlint:"+verb+" (only //swlint:allow <analyzer> <reason> is recognized)")
+					continue
+				}
+				analyzer, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+				reason = strings.TrimSpace(reason)
+				if analyzer == "" {
+					report(c.Pos(), "swlint:allow directive is missing an analyzer name")
+					continue
+				}
+				if !knownSet[analyzer] {
+					report(c.Pos(), "swlint:allow names unknown analyzer "+analyzer)
+					continue
+				}
+				if reason == "" {
+					report(c.Pos(), "swlint:allow "+analyzer+" is missing a reason; exceptions must say why")
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				d.allows = append(d.allows, allowDirective{
+					analyzer: analyzer,
+					reason:   reason,
+					lines:    [2]int{line, line + 1},
+					file:     fset.Position(c.Pos()).Filename,
+				})
+			}
+		}
+	}
+	return d, bad
+}
+
+// Suppressed reports whether a finding by the named analyzer at pos is
+// covered by an allow directive.
+func (d *Directives) Suppressed(analyzer string, pos token.Position) bool {
+	for _, a := range d.allows {
+		if a.analyzer != analyzer || a.file != pos.Filename {
+			continue
+		}
+		if pos.Line == a.lines[0] || pos.Line == a.lines[1] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"switchflow/internal/analysis"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// TestMalformedDirectives checks that every malformed //swlint: shape is
+// itself a finding: a suppression that silently does nothing is worse
+// than none at all.
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		wantMsg string
+	}{
+		{"unknown verb", "//swlint:deny simclock reason", "unknown swlint directive //swlint:deny"},
+		{"missing analyzer", "//swlint:allow", "missing an analyzer name"},
+		{"unknown analyzer", "//swlint:allow nosuchcheck some reason", "unknown analyzer nosuchcheck"},
+		{"missing reason", "//swlint:allow simclock", "missing a reason"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, files := parseOne(t, "package p\n\n"+tc.comment+"\nvar x int\n")
+			_, bad := analysis.CollectDirectives(fset, files, []string{"simclock"})
+			if len(bad) != 1 {
+				t.Fatalf("got %d findings, want 1: %v", len(bad), bad)
+			}
+			if bad[0].Analyzer != "directive" {
+				t.Errorf("finding analyzer = %q, want %q", bad[0].Analyzer, "directive")
+			}
+			if !strings.Contains(bad[0].Message, tc.wantMsg) {
+				t.Errorf("finding message %q does not contain %q", bad[0].Message, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestDirectiveSuppression checks the reach of a well-formed directive:
+// its own line (trailing form), the next line (standalone form), and
+// nothing else — and only for the named analyzer.
+func TestDirectiveSuppression(t *testing.T) {
+	src := `package p
+
+//swlint:allow simclock reason one
+var a int
+var b int
+`
+	fset, files := parseOne(t, src)
+	dirs, bad := analysis.CollectDirectives(fset, files, []string{"simclock", "detrand"})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive findings: %v", bad)
+	}
+	at := func(line int) token.Position {
+		return token.Position{Filename: "dir.go", Line: line}
+	}
+	if !dirs.Suppressed("simclock", at(3)) {
+		t.Error("directive line itself not suppressed")
+	}
+	if !dirs.Suppressed("simclock", at(4)) {
+		t.Error("line below directive not suppressed")
+	}
+	if dirs.Suppressed("simclock", at(5)) {
+		t.Error("two lines below directive wrongly suppressed")
+	}
+	if dirs.Suppressed("detrand", at(4)) {
+		t.Error("directive suppressed a different analyzer")
+	}
+	if dirs.Suppressed("simclock", token.Position{Filename: "other.go", Line: 4}) {
+		t.Error("directive suppressed a different file")
+	}
+}
+
+// TestRunSuppression drives the whole pipeline: a toy analyzer that
+// flags every function declaration, with one decl carrying an allow
+// directive.
+func TestRunSuppression(t *testing.T) {
+	src := `package p
+
+func flagged() {}
+
+//swlint:allow toy this one is fine
+func allowed() {}
+`
+	fset, files := parseOne(t, src)
+	toy := &analysis.Analyzer{
+		Name: "toy",
+		Doc:  "flags every function declaration",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "function %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	findings, err := analysis.Run(fset, files, nil, nil, []*analysis.Analyzer{toy}, []string{"toy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Message != "function flagged" || f.Analyzer != "toy" || f.Position.Line != 3 {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	want := "dir.go:3:1: toy: function flagged"
+	if f.String() != want {
+		t.Errorf("finding.String() = %q, want %q", f.String(), want)
+	}
+}

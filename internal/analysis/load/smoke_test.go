@@ -1,0 +1,58 @@
+package load
+
+import "testing"
+
+// TestSmokeLoadModule type-checks the whole module through the loader —
+// the same path cmd/swlint takes. It pins the properties the analyzers
+// depend on: every package loads with full type information, and the
+// package list is sorted so findings print in a stable order.
+func TestSmokeLoadModule(t *testing.T) {
+	root, mod, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(root, mod)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded %d packages, expected the whole module (>= 10)", len(pkgs))
+	}
+	seen := make(map[string]bool)
+	prev := ""
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: loaded without full type information", p.Path)
+		}
+		if seen[p.Path] {
+			t.Errorf("%s: loaded twice", p.Path)
+		}
+		seen[p.Path] = true
+		if p.Path < prev {
+			t.Errorf("packages out of order: %s after %s", p.Path, prev)
+		}
+		prev = p.Path
+	}
+	for _, want := range []string{mod, mod + "/internal/core", mod + "/cmd/swlint"} {
+		if !seen[want] {
+			t.Errorf("package %s missing from module load", want)
+		}
+	}
+}
+
+// TestModuleRootFromSubdir checks go.mod discovery walks upward.
+func TestModuleRootFromSubdir(t *testing.T) {
+	fromHere, mod1, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromParent, mod2, err := ModuleRoot("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromHere != fromParent || mod1 != mod2 {
+		t.Errorf("ModuleRoot disagrees: (%s, %s) from subdir vs (%s, %s) from root",
+			fromHere, mod1, fromParent, mod2)
+	}
+}

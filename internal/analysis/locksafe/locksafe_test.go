@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"switchflow/internal/analysis/analysistest"
+	"switchflow/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, locksafe.Analyzer, "locksafe")
+}

@@ -1,0 +1,110 @@
+// Package locksafe exercises the locksafe analyzer: leaked locks,
+// callbacks and HTTP response writes under a held mutex, and by-value
+// lock copies are flagged; the unlocked equivalents are not.
+package locksafe
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+type server struct {
+	mu   sync.Mutex
+	n    int
+	hook func()
+}
+
+// leak locks and never unlocks.
+func (s *server) leak() {
+	s.mu.Lock() // want `s\.mu\.Lock has no matching Unlock`
+	s.n++
+}
+
+// balanced is the ordinary safe shape.
+func (s *server) balanced() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// callbackUnderLock invokes a stored function value while holding the
+// lock; if the callback re-locks, the server deadlocks.
+func (s *server) callbackUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook() // want `calls a function value while holding s\.mu`
+}
+
+// callbackAfterUnlock snapshots the callback under the lock and invokes
+// it after releasing — the safe shape.
+func (s *server) callbackAfterUnlock() {
+	s.mu.Lock()
+	hook := s.hook
+	s.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// statusUnderLock writes the response while holding the lock, so one
+// slow client stalls every other request.
+func (s *server) statusUnderLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = json.NewEncoder(w).Encode(s.n) // want `writes an HTTP response while holding s\.mu`
+}
+
+// statusAfter builds the payload under the lock and writes after.
+func (s *server) statusAfter(w http.ResponseWriter) {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	_ = json.NewEncoder(w).Encode(n)
+}
+
+// lockAndReturn intentionally returns holding the lock; the directive
+// names the contract.
+func (s *server) lockAndReturn() {
+	//swlint:allow locksafe returns locked by contract; the caller must call unlockNow
+	s.mu.Lock()
+	s.n++
+}
+
+func (s *server) unlockNow() {
+	s.mu.Unlock()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// copyParam takes the lock-bearing struct by value.
+func copyParam(g guarded) int { // want `parameter passes .*guarded by value \(contains sync\.Mutex\)`
+	return g.n
+}
+
+// copyRange copies the struct into the range value each iteration.
+func copyRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value copies .*guarded \(contains sync\.Mutex\)`
+		total += g.n
+	}
+	return total
+}
+
+// copyDeref copies the struct out of a pointer.
+func copyDeref(p *guarded) {
+	g := *p // want `assignment copies .*guarded \(contains sync\.Mutex\)`
+	_ = g
+}
+
+// pointersFine moves lock-bearing state the legal way.
+func pointersFine(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}

@@ -1,0 +1,414 @@
+// Package maporder flags range statements over maps whose loop bodies
+// have iteration-order-dependent effects. Go randomizes map iteration
+// order on purpose; a map-ordered append, channel send, scheduled event,
+// or output write makes two runs of the same simulation diverge — exactly
+// the drift the serial-vs-parallel byte-identity tests exist to catch.
+//
+// The analyzer permits loop bodies whose effects commute, so the common
+// benign shapes stay silent:
+//
+//   - collecting keys/values into a slice that a later statement in the
+//     same block sorts (sort.* or slices.Sort*) — the blessed fix;
+//   - guarded reductions (max/min/first-match under an if) and
+//     commutative accumulation (integer +=, counters, |=) into outer
+//     variables;
+//   - per-entry mutation through the loop variables (st.Mean = ... where
+//     st is the map value) and delete(m, k);
+//   - anything confined to locals declared inside the loop.
+//
+// Everything else — calls with effects, nested loops, returns (first
+// match wins), channel operations, unsorted appends, floating-point
+// accumulation (rounding is order-dependent) — is reported. Guarded
+// reductions are assumed commutative; a guarded assignment that selects
+// between tied candidates is still order-dependent and needs sorting —
+// the analyzer cannot see ties, so reviewers still must.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"switchflow/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration with order-dependent effects; sort the keys first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		walkBlocks(f, func(stmts []ast.Stmt) {
+			for i, s := range stmts {
+				rs, ok := unlabel(s).(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypesInfo.Types[rs.X].Type
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				c := &checker{pass: pass, rng: rs, followers: stmts[i+1:]}
+				if cause := c.cause(rs.Body); cause != "" {
+					pass.Reportf(rs.Pos(),
+						"iteration over map %s %s, so the result depends on random map order; iterate sorted keys instead", types.ExprString(rs.X), cause)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// walkBlocks invokes fn on every statement list in the file (blocks and
+// switch/select case bodies).
+func walkBlocks(f *ast.File, fn func([]ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// rng is the map range under scrutiny; objects declared within its
+	// span (the loop variables and body locals) are private per iteration.
+	rng *ast.RangeStmt
+	// followers are the statements after the range in its enclosing
+	// block, searched for sort calls that bless collector appends.
+	followers []ast.Stmt
+}
+
+// cause classifies the loop body; it returns "" when every effect
+// commutes, else a description of the first order-dependent effect.
+func (c *checker) cause(body *ast.BlockStmt) string {
+	for _, s := range body.List {
+		if cause := c.stmtCause(unlabel(s)); cause != "" {
+			return cause
+		}
+	}
+	return ""
+}
+
+func (c *checker) stmtCause(s ast.Stmt) string {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt, *ast.BranchStmt:
+		return ""
+	case *ast.BlockStmt:
+		return c.cause(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if cause := c.stmtCause(s.Init); cause != "" {
+				return cause
+			}
+		}
+		if !c.pure(s.Cond) {
+			return "has an effectful condition"
+		}
+		if cause := c.cause(s.Body); cause != "" {
+			return cause
+		}
+		if s.Else != nil {
+			return c.stmtCause(unlabel(s.Else))
+		}
+		return ""
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return "declares non-var state"
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					if !c.pure(v) {
+						return "initializes a local with an effectful expression"
+					}
+				}
+			}
+		}
+		return ""
+	case *ast.AssignStmt:
+		return c.assignCause(s)
+	case *ast.IncDecStmt:
+		if !c.assignableTarget(s.X, false) {
+			return "increments order-sensitive state"
+		}
+		return ""
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return ""
+				}
+			}
+		}
+		return "calls a function with effects"
+	case *ast.SendStmt:
+		return "sends on a channel"
+	case *ast.ReturnStmt:
+		return "returns from inside the loop (first match wins)"
+	default:
+		return "contains a nested statement with order-dependent control flow"
+	}
+}
+
+// assignCause classifies one assignment inside the loop body.
+func (c *checker) assignCause(s *ast.AssignStmt) string {
+	// The collector pattern: x = append(x, ...) blessed by a later sort.
+	if lhs, ok := c.collectorAppend(s); ok {
+		if c.sortedAfter(lhs) {
+			return ""
+		}
+		return "appends to " + lhs.Name + " which is never sorted afterwards"
+	}
+	for _, rhs := range s.Rhs {
+		if !c.pure(rhs) {
+			return "assigns the result of an effectful call"
+		}
+	}
+	define := s.Tok.String() == ":="
+	commutative := false
+	switch s.Tok.String() {
+	case "+=", "-=", "*=", "|=", "&=", "^=":
+		commutative = true
+	}
+	for _, lhs := range s.Lhs {
+		if define {
+			continue // fresh local each iteration
+		}
+		if commutative {
+			if !c.commutativeTarget(lhs) {
+				return "accumulates floating-point state (rounding depends on order)"
+			}
+			continue
+		}
+		if !c.assignableTarget(lhs, true) {
+			return "writes order-sensitive state"
+		}
+	}
+	return ""
+}
+
+// collectorAppend matches x = append(x, ...) with an identifier target.
+func (c *checker) collectorAppend(s *ast.AssignStmt) (*ast.Ident, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil, false
+	}
+	if _, isBuiltin := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !isBuiltin {
+		return nil, false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || c.obj(first) != c.obj(lhs) || c.obj(lhs) == nil {
+		return nil, false
+	}
+	for _, a := range call.Args[1:] {
+		if !c.pure(a) {
+			return nil, false
+		}
+	}
+	return lhs, true
+}
+
+// sortFuncs names the sorting entry points that bless a collector.
+var sortFuncs = []struct {
+	pkg   string
+	names map[string]bool
+}{
+	{"sort", map[string]bool{"Ints": true, "Strings": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true}},
+	{"slices", map[string]bool{"Sort": true, "SortFunc": true, "SortStableFunc": true}},
+}
+
+// sortedAfter reports whether a statement following the range sorts the
+// collected slice.
+func (c *checker) sortedAfter(collector *ast.Ident) bool {
+	target := c.obj(collector)
+	if target == nil {
+		return false
+	}
+	for _, s := range c.followers {
+		es, ok := unlabel(s).(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		for _, sf := range sortFuncs {
+			name, ok := analysis.PkgCall(c.pass.TypesInfo, call, sf.pkg)
+			if !ok || !sf.names[name] {
+				continue
+			}
+			if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && c.obj(arg) == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// obj resolves an identifier to its object (definition or use).
+func (c *checker) obj(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// local reports whether the identifier's object is declared within the
+// range statement (loop variables and body locals are per-iteration).
+func (c *checker) local(id *ast.Ident) bool {
+	o := c.obj(id)
+	return o != nil && o.Pos() >= c.rng.Pos() && o.Pos() < c.rng.End()
+}
+
+// rootIdent returns the base identifier of a selector/index/deref chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// assignableTarget reports whether a plain assignment to e commutes:
+// targets rooted in loop-locals always do; outer targets only under a
+// guard (guarded selections are assumed to be max/min-style reductions).
+func (c *checker) assignableTarget(e ast.Expr, requireGuard bool) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	if c.local(root) {
+		return true
+	}
+	if !requireGuard {
+		return true // x++ on an outer counter commutes
+	}
+	// An unguarded plain write to outer state is last-write-wins; under an
+	// if it is read as a guarded reduction.
+	return c.guarded(e)
+}
+
+// guarded reports whether pos lies inside an if statement within the loop
+// body.
+func (c *checker) guarded(e ast.Expr) bool {
+	found := false
+	ast.Inspect(c.rng.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		if e.Pos() >= ifs.Body.Pos() && e.Pos() < ifs.Body.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// commutativeTarget reports whether compound accumulation into e is
+// order-insensitive: any loop-local target, or an outer target of
+// non-float type (float rounding depends on summation order).
+func (c *checker) commutativeTarget(e ast.Expr) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	if c.local(root) {
+		return true
+	}
+	t := c.pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat == 0 && b.Info()&types.IsComplex == 0
+}
+
+// pure reports whether evaluating e has no effects beyond allocation:
+// no calls except conversions and the pure builtins, no channel
+// receives, no function literals.
+func (c *checker) pure(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if !pure {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if analysis.IsConversion(c.pass.TypesInfo, n) {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "len", "cap", "append", "make", "new", "min", "max":
+						return true
+					}
+				}
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}

@@ -1,0 +1,129 @@
+// Package maporder exercises the maporder analyzer: order-dependent
+// loop bodies over maps are flagged; commuting reductions, blessed
+// collect-then-sort, per-entry mutation, and loop-local work are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// badAppend collects map keys without ever sorting them.
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys which is never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// goodCollectSort is the blessed fix: collect, then sort.
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// badCall emits output in map order.
+func badCall(m map[string]int) {
+	for k := range m { // want `calls a function with effects`
+		fmt.Println(k)
+	}
+}
+
+// badSend feeds a channel in map order.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+// badReturn returns the first hit, which is a coin flip on ties.
+func badReturn(m map[string]int) (string, bool) {
+	for k, v := range m { // want `returns from inside the loop`
+		if v > 0 {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// badFloat accumulates floats, whose rounding depends on order.
+func badFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates floating-point state`
+		sum += v
+	}
+	return sum
+}
+
+// badNested hides the effect inside an inner loop.
+func badNested(m map[string][]int, out []int) []int {
+	for _, vs := range m { // want `order-dependent control flow`
+		for _, v := range vs {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// goodIntSum commutes: integer addition is order-insensitive.
+func goodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodGuardedMax is a guarded reduction.
+func goodGuardedMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+type stat struct{ mean float64 }
+
+// goodPerEntry mutates each entry through the loop value.
+func goodPerEntry(m map[string]*stat) {
+	for _, st := range m {
+		st.mean = 0
+	}
+}
+
+// goodDelete prunes entries; delete during range is defined and commutes.
+func goodDelete(m map[string]int) {
+	for k := range m {
+		if m[k] == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// goodLocals confines everything to per-iteration locals.
+func goodLocals(m map[string]int) int {
+	count := 0
+	for _, v := range m {
+		doubled := v * 2
+		if doubled > 10 {
+			count++
+		}
+	}
+	return count
+}
+
+// allowedDump carries a directive: order genuinely does not matter.
+func allowedDump(m map[string]int) {
+	//swlint:allow maporder debug dump, consumer sorts lines before diffing
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,63 @@
+// Package simclock forbids wall-clock reads in simulated code. All time
+// inside the simulated world must flow from the virtual clock
+// (sim.Engine.Now / Schedule / After): a single time.Now or time.Sleep in
+// a scheduler, device, executor, or workload path silently breaks the
+// serial-vs-parallel byte-identity the experiment harness guarantees,
+// because wall time differs run to run and across worker goroutines.
+//
+// Flagged: calls to time.Now, time.Since, time.Until, time.Sleep,
+// time.After, time.AfterFunc, time.Tick, time.NewTimer and
+// time.NewTicker. time.Duration values and arithmetic are fine — the
+// simulation measures virtual time in time.Duration.
+//
+// Legitimate wall-clock uses (harness elapsed-time reporting on stderr,
+// HTTP server deadlines) carry //swlint:allow simclock <reason>.
+package simclock
+
+import (
+	"go/ast"
+
+	"switchflow/internal/analysis"
+)
+
+// forbidden maps each banned time function to the virtual-time
+// replacement named in the diagnostic.
+var forbidden = map[string]string{
+	"Now":       "sim.Engine.Now",
+	"Since":     "subtraction of sim.Engine.Now values",
+	"Until":     "subtraction of sim.Engine.Now values",
+	"Sleep":     "sim.Engine.After",
+	"After":     "sim.Engine.After",
+	"AfterFunc": "sim.Engine.After",
+	"Tick":      "a rescheduling sim.Engine.After callback",
+	"NewTimer":  "sim.Engine.After",
+	"NewTicker": "a rescheduling sim.Engine.After callback",
+}
+
+// Analyzer is the simclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock reads (time.Now etc.); simulated components take time from the virtual clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := analysis.PkgCall(pass.TypesInfo, call, "time")
+			if !ok {
+				return true
+			}
+			if repl, bad := forbidden[name]; bad {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock, which breaks deterministic replay; use %s (virtual time)", name, repl)
+			}
+			return true
+		})
+	}
+	return nil
+}

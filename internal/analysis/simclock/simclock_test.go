@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"switchflow/internal/analysis/analysistest"
+	"switchflow/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, simclock.Analyzer, "simclock")
+}

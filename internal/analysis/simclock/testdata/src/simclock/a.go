@@ -1,0 +1,47 @@
+// Package simclock exercises the simclock analyzer: wall-clock reads
+// are flagged, virtual-time arithmetic on time.Duration is not, and an
+// //swlint:allow directive silences an intentional read.
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// bad hits every forbidden wall-clock entry point.
+func bad() {
+	start := time.Now()            // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second)        // want `time\.Sleep reads the wall clock`
+	fmt.Println(time.Since(start)) // want `time\.Since reads the wall clock`
+	fmt.Println(time.Until(start)) // want `time\.Until reads the wall clock`
+	<-time.After(time.Second)      // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	_ = time.Tick(time.Second)     // want `time\.Tick reads the wall clock`
+}
+
+// good uses time only as a unit: the simulation measures virtual time
+// in time.Duration, which never touches the wall clock.
+func good(millis int) time.Duration {
+	d := time.Duration(millis) * time.Millisecond
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	_ = d.Seconds()
+	return d
+}
+
+// goodParse reaches for non-clock time helpers, which stay legal.
+func goodParse() (time.Duration, error) {
+	return time.ParseDuration("150ms")
+}
+
+// allowedTrailing suppresses with a trailing directive on the same line.
+func allowedTrailing() time.Time {
+	return time.Now() //swlint:allow simclock wall clock feeds a stderr progress line only
+}
+
+// allowedStandalone suppresses the line below a standalone directive.
+func allowedStandalone() {
+	//swlint:allow simclock http server deadline, not simulation time
+	time.Sleep(time.Millisecond)
+}

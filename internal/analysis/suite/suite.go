@@ -1,0 +1,32 @@
+// Package suite registers the full swlint analyzer suite. cmd/swlint and
+// the repo-wide self-check test both consume it, so adding an analyzer
+// here wires it into the CLI, make lint, CI, and the smoke test at once.
+package suite
+
+import (
+	"switchflow/internal/analysis"
+	"switchflow/internal/analysis/detrand"
+	"switchflow/internal/analysis/locksafe"
+	"switchflow/internal/analysis/maporder"
+	"switchflow/internal/analysis/simclock"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		locksafe.Analyzer,
+		maporder.Analyzer,
+		simclock.Analyzer,
+	}
+}
+
+// Names returns the analyzer names, for directive validation and -run
+// filters.
+func Names() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}

@@ -1,0 +1,67 @@
+package suite_test
+
+import (
+	"os"
+	"testing"
+
+	"switchflow/internal/analysis"
+	"switchflow/internal/analysis/load"
+	"switchflow/internal/analysis/suite"
+)
+
+// TestRepoIsClean runs the full suite over the whole module, the same
+// sweep cmd/swlint performs. The tree must stay finding-free: every
+// legitimate exception carries an //swlint:allow directive, so any
+// output here is either a real regression or a missing annotation.
+func TestRepoIsClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modulePath, err := load.ModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := load.New(root, modulePath)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, p := range pkgs {
+		findings, err := analysis.Run(l.Fset(), p.Files, p.Types, p.Info, suite.Analyzers(), suite.Names())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestSuiteShape pins the registry: analyzer names are unique, sorted,
+// documented, and usable in directives.
+func TestSuiteShape(t *testing.T) {
+	names := suite.Names()
+	if len(names) < 4 {
+		t.Fatalf("suite has %d analyzers, want at least 4", len(names))
+	}
+	seen := make(map[string]bool)
+	prev := ""
+	for i, a := range suite.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %d is missing name, doc, or run", i)
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Name < prev {
+			t.Errorf("analyzers out of order: %q after %q", a.Name, prev)
+		}
+		prev = a.Name
+	}
+}

@@ -174,7 +174,18 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// The handlers below all follow the same shape: a *Locked method takes
+// s.mu, builds the response payload, and returns it; the handler writes
+// the payload only after the lock is released. Writing to the
+// ResponseWriter under s.mu would let one slow client stall the whole
+// control plane (the write can block on the peer's TCP window), which
+// the locksafe analyzer flags.
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statusLocked())
+}
+
+func (s *Server) statusLocked() StatusInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	status := StatusInfo{
@@ -186,8 +197,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		GrantP95Usec: float64(s.sched.PreemptionP95().Microseconds()),
 	}
 	var served, sloMet int
-	for _, entry := range s.jobs {
-		st := entry.job.ServingStats()
+	for _, id := range s.order {
+		st := s.jobs[id].job.ServingStats()
 		status.OfferedRequests += st.Offered
 		status.ShedRequests += st.Shed
 		served += st.Served
@@ -203,7 +214,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			MemUsed:    s.sim.GPUMemoryUsed(i),
 		})
 	}
-	writeJSON(w, http.StatusOK, status)
+	return status
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -211,13 +222,17 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.listJobsLocked())
+}
+
+func (s *Server) listJobsLocked() []JobInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	infos := make([]JobInfo, 0, len(s.jobs))
 	for _, id := range s.order {
 		infos = append(infos, s.info(s.jobs[id]))
 	}
-	writeJSON(w, http.StatusOK, infos)
+	return infos
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -226,15 +241,22 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	job, err := s.sched.AddJob(toSpec(req))
+	info, err := s.submitJobLocked(req)
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
-	entry := s.track(req.Model, job)
-	writeJSON(w, http.StatusCreated, s.info(entry))
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) submitJobLocked(req JobRequest) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, err := s.sched.AddJob(toSpec(req))
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return s.info(s.track(req.Model, job)), nil
 }
 
 func (s *Server) handleSubmitGroup(w http.ResponseWriter, r *http.Request) {
@@ -243,6 +265,15 @@ func (s *Server) handleSubmitGroup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
+	infos, err := s.submitGroupLocked(reqs)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infos)
+}
+
+func (s *Server) submitGroupLocked(reqs []JobRequest) ([]JobInfo, error) {
 	specs := make([]switchflow.JobSpec, len(reqs))
 	for i, req := range reqs {
 		specs[i] = toSpec(req)
@@ -251,37 +282,46 @@ func (s *Server) handleSubmitGroup(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	group, err := s.sched.AddSharedGroup(specs)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
+		return nil, err
 	}
 	infos := make([]JobInfo, 0, len(reqs))
 	for i, job := range group.Jobs() {
 		infos = append(infos, s.info(s.track(reqs[i].Model, job)))
 	}
-	writeJSON(w, http.StatusCreated, infos)
+	return infos, nil
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	entry, err := s.lookup(r)
+	info, err := s.jobInfoLocked(r.PathValue("id"), false)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.info(entry))
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleStopJob(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	entry, err := s.lookup(r)
+	info, err := s.jobInfoLocked(r.PathValue("id"), true)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	s.sched.StopJob(entry.job)
-	writeJSON(w, http.StatusOK, s.info(entry))
+	writeJSON(w, http.StatusOK, info)
+}
+
+// jobInfoLocked resolves a job by its path id and returns its status,
+// stopping it first when stop is set.
+func (s *Server) jobInfoLocked(idText string, stop bool) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, err := s.lookup(idText)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if stop {
+		s.sched.StopJob(entry.job)
+	}
+	return s.info(entry), nil
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
@@ -294,10 +334,14 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("forMillis must be positive, got %d", req.ForMillis))
 		return
 	}
+	writeJSON(w, http.StatusOK, s.advanceLocked(req))
+}
+
+func (s *Server) advanceLocked(req AdvanceRequest) AdvanceResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sim.RunFor(time.Duration(req.ForMillis) * time.Millisecond)
-	writeJSON(w, http.StatusOK, AdvanceResponse{NowMillis: s.sim.Now().Seconds() * 1e3})
+	return AdvanceResponse{NowMillis: s.sim.Now().Seconds() * 1e3}
 }
 
 func (s *Server) track(model string, job *switchflow.Job) *jobEntry {
@@ -308,10 +352,10 @@ func (s *Server) track(model string, job *switchflow.Job) *jobEntry {
 	return entry
 }
 
-func (s *Server) lookup(r *http.Request) (*jobEntry, error) {
-	id, err := strconv.Atoi(r.PathValue("id"))
+func (s *Server) lookup(idText string) (*jobEntry, error) {
+	id, err := strconv.Atoi(idText)
 	if err != nil {
-		return nil, fmt.Errorf("bad job id %q", r.PathValue("id"))
+		return nil, fmt.Errorf("bad job id %q", idText)
 	}
 	entry, ok := s.jobs[id]
 	if !ok {

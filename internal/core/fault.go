@@ -204,8 +204,8 @@ func (m *Manager) handleTransient(dev device.ID) {
 // merely resident (an ECC error corrupts resident memory just as well as
 // a running kernel). Admission order keeps the choice deterministic.
 func (m *Manager) transientVictim(dev device.ID) *jobState {
-	if dev.Kind == device.KindGPU {
-		if arb, ok := m.arbs[dev.Index]; ok && arb.owner != nil &&
+	if dev.Kind == device.KindGPU && dev.Index < len(m.arbs) {
+		if arb := m.arbs[dev.Index]; arb.owner != nil &&
 			!arb.owner.stopped && !arb.owner.job.Crashed() && !arb.owner.restarting {
 			return arb.owner
 		}

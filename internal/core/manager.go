@@ -60,10 +60,14 @@ type Manager struct {
 	eng     *sim.Engine
 	machine *device.Machine
 	opts    Options
-	global  *threadpool.Pool
-	temp    *threadpool.Pool
-	arbs    map[int]*arbiter
-	jobs    []*jobState
+	global *threadpool.Pool
+	temp   *threadpool.Pool
+	// arbs holds one arbiter per GPU, indexed by GPU index. It is a slice,
+	// not a map, so every sweep over the arbiters (fault recovery, request
+	// purging) runs in ascending device order — map iteration order is
+	// randomized and would leak into grant sequencing.
+	arbs []*arbiter
+	jobs []*jobState
 	groups  []*Group
 	ctxSeq  int
 	// grantSeq orders grant requests FIFO within a priority class. It is
@@ -130,9 +134,9 @@ func NewManager(eng *sim.Engine, machine *device.Machine, opts Options) *Manager
 		opts:    opts,
 		global:  threadpool.New(eng, "global", machine.CPU.Cores-opts.TempPoolThreads),
 		temp:    threadpool.New(eng, "temporary", opts.TempPoolThreads),
-		arbs:    make(map[int]*arbiter),
+		arbs:    make([]*arbiter, len(machine.GPUs)),
 	}
-	for i := range machine.GPUs {
+	for i := range m.arbs {
 		m.arbs[i] = &arbiter{}
 	}
 	return m

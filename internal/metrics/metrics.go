@@ -51,6 +51,7 @@ func (l *Latency) Add(d time.Duration) {
 		return
 	}
 	if l.rng == nil {
+		//swlint:allow detrand the reservoir seed is deliberately fixed so percentile tables replay byte-identically
 		l.rng = rand.New(rand.NewSource(reservoirSeed))
 	}
 	if slot := l.rng.Intn(l.total); slot < len(l.samples) {
