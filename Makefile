@@ -13,7 +13,7 @@ STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
 .PHONY: all build vet lint test race bench bench-json results examples \
-	install-lint-tools
+	trace install-lint-tools
 
 all: build vet lint test race
 
@@ -62,6 +62,11 @@ bench:
 # tracking the performance trajectory across commits.
 bench-json:
 	go test -json -run='^$$' -bench=. -benchmem ./... | tee bench_output.json
+
+# Chrome trace-event artifact from the canned two-ResNet50 co-run on a
+# V100 (the switchflow cell). Open trace.json in https://ui.perfetto.dev.
+trace:
+	go run ./cmd/swbench -trace trace.json
 
 # Regenerate every table and figure of the paper (and the extensions).
 results:

@@ -29,13 +29,51 @@ func main() {
 		iters    = flag.Int("iters", 200, "iterations per measurement (figures 3, 8, 9, 10)")
 		requests = flag.Int("requests", 200, "inference requests per cell (figure 6, preempt, ablation)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for experiment sweeps (1 = serial)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file of the canned two-ResNet50 co-run and exit")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "swbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *iters, *requests); err != nil {
 		fmt.Fprintln(os.Stderr, "swbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace runs the canned observability experiment (two ResNet50
+// training jobs on a V100 under each scheduler) and writes the
+// switchflow cell's Chrome trace-event JSON to path. The export is
+// byte-identical regardless of -parallel.
+func writeTrace(path string) error {
+	results := experiments.ChromeTrace(5 * time.Second)
+	for _, r := range results {
+		fmt.Printf("trace: %-10s %6d kernel spans, %4d preemptions\n", r.Sched, r.Spans, r.Preempts)
+	}
+	for _, r := range results {
+		if r.Sched != "switchflow" {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (%d events, switchflow cell)\n", path, len(r.Events))
+		return nil
+	}
+	return fmt.Errorf("no switchflow cell in trace results")
 }
 
 func run(exp string, iters, requests int) error {

@@ -12,6 +12,7 @@ import (
 
 	"switchflow/internal/core"
 	"switchflow/internal/device"
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -166,6 +167,13 @@ func (c *Cluster) tryPlace(h *JobHandle) bool {
 	h.Placed = true
 	h.Where = Placement{Node: node.Name, GPU: gpu}
 	h.PlacedAt = c.eng.Now()
+	node.machine.Bus().Emit(obs.Event{
+		Kind:   obs.KindPlace,
+		Ctx:    job.Ctx,
+		Job:    cfg.Name,
+		Device: device.GPUID(gpu).String(),
+		From:   node.Name,
+	})
 	node.perGPU[gpu].jobs++
 	if cfg.Kind == workload.KindTraining {
 		node.perGPU[gpu].training++

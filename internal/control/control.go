@@ -14,6 +14,8 @@
 //	DELETE /v1/jobs/{id}     stop a job
 //	POST /v1/groups          submit a shared-input group ([]JobRequest)
 //	POST /v1/advance         advance virtual time (AdvanceRequest)
+//	GET  /v1/trace           Chrome trace-event JSON of the recorded window
+//	GET  /v1/metrics         observability-spine event counts + aggregates
 package control
 
 import (
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"switchflow"
+	"switchflow/internal/obs"
 )
 
 // JobRequest is the submission payload.
@@ -123,7 +126,16 @@ type Server struct {
 	// O(jobs) instead of scanning the whole 1..nextID id space.
 	order  []int
 	nextID int
+	// recorder captures the observability spine for /v1/trace and
+	// /v1/metrics. It is bounded (a ring of the most recent events) so a
+	// long-running server cannot grow without bound.
+	recorder *obs.Recorder
 }
+
+// recorderCap bounds the trace window the server retains: enough for tens
+// of seconds of simulated kernel activity, small enough to stay O(100MB)
+// in the worst case.
+const recorderCap = 1 << 18
 
 type jobEntry struct {
 	id    int
@@ -139,11 +151,21 @@ func NewServer(machine string) (*Server, error) {
 		return nil, err
 	}
 	sim := switchflow.NewSimulation(spec)
+	rec := obs.NewRecorder(recorderCap)
+	// Everything except OpSched: per-operator dispatch is orders of
+	// magnitude more voluminous than the rest of the spine combined and
+	// would evict the decision events /v1/trace exists to show.
+	sim.EventBus().Subscribe(rec,
+		obs.KindKernelSpan, obs.KindLaunch, obs.KindPreempt, obs.KindResume,
+		obs.KindMigrate, obs.KindBatchFuse, obs.KindAdmit, obs.KindShed,
+		obs.KindServe, obs.KindFaultInject, obs.KindJobLost,
+		obs.KindCheckpoint, obs.KindRestore, obs.KindPlace)
 	return &Server{
-		machine: spec.Name(),
-		sim:     sim,
-		sched:   sim.SwitchFlow(),
-		jobs:    make(map[int]*jobEntry),
+		machine:  spec.Name(),
+		sim:      sim,
+		sched:    sim.SwitchFlow(),
+		jobs:     make(map[int]*jobEntry),
+		recorder: rec,
 	}, nil
 }
 
@@ -171,6 +193,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleStopJob)
 	mux.HandleFunc("POST /v1/groups", s.handleSubmitGroup)
 	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -342,6 +366,56 @@ func (s *Server) advanceLocked(req AdvanceRequest) AdvanceResponse {
 	defer s.mu.Unlock()
 	s.sim.RunFor(time.Duration(req.ForMillis) * time.Millisecond)
 	return AdvanceResponse{NowMillis: s.sim.Now().Seconds() * 1e3}
+}
+
+// MetricsInfo is the /v1/metrics payload: spine-wide event accounting
+// plus the scheduler's decision and fault aggregates.
+type MetricsInfo struct {
+	// Events is how many spine events the trace recorder currently holds;
+	// DroppedEvents counts older events evicted by the bounded window.
+	Events        int    `json:"events"`
+	DroppedEvents uint64 `json:"droppedEvents"`
+	// ByKind breaks the retained events down by event kind.
+	ByKind map[string]int `json:"byKind"`
+	// Scheduler decision counters and fault aggregates.
+	Preemptions int                   `json:"preemptions"`
+	Migrations  int                   `json:"migrations"`
+	Faults      switchflow.FaultStats `json:"faults"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := s.traceEventsLocked()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteChrome(w, events)
+}
+
+func (s *Server) traceEventsLocked() []obs.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recorder.Events()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsLocked())
+}
+
+func (s *Server) metricsLocked() MetricsInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	events := s.recorder.Events()
+	byKind := make(map[string]int)
+	for _, e := range events {
+		byKind[e.Kind.String()]++
+	}
+	return MetricsInfo{
+		Events:        len(events),
+		DroppedEvents: s.recorder.Dropped(),
+		ByKind:        byKind,
+		Preemptions:   s.sched.Preemptions(),
+		Migrations:    s.sched.Migrations(),
+		Faults:        s.sched.FaultStats(),
+	}
 }
 
 func (s *Server) track(model string, job *switchflow.Job) *jobEntry {

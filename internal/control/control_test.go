@@ -385,3 +385,67 @@ func TestScenarioValidation(t *testing.T) {
 		t.Fatal("group under non-switchflow scheduler accepted")
 	}
 }
+
+func TestTraceAndMetricsEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Two training jobs with a priority gap: the higher one preempts, so
+	// the spine records decisions alongside kernel spans.
+	for i, prio := range []int{0, 1} {
+		var created JobInfo
+		code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+			Name: fmt.Sprintf("train-%d", i), Model: "ResNet50", Batch: 16,
+			Train: true, Priority: prio,
+		}, &created)
+		if code != http.StatusCreated {
+			t.Fatalf("submit status = %d", code)
+		}
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil); code != 200 {
+		t.Fatalf("advance status = %d", code)
+	}
+
+	var metrics MetricsInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics status = %d", code)
+	}
+	if metrics.Events == 0 {
+		t.Fatal("metrics reports no recorded events after a 2s co-run")
+	}
+	if metrics.ByKind["KernelSpan"] == 0 {
+		t.Fatalf("no kernel spans in metrics: %+v", metrics.ByKind)
+	}
+	if metrics.Preemptions == 0 || metrics.ByKind["Preempt"] == 0 {
+		t.Fatalf("priority ladder produced no preemptions: %+v", metrics)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid chrome JSON: %v", err)
+	}
+	var spans, preempts int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X":
+			spans++
+		case e.Name == "Preempt":
+			preempts++
+		}
+	}
+	if spans == 0 || preempts == 0 {
+		t.Fatalf("trace has %d spans and %d preempt instants, want both > 0", spans, preempts)
+	}
+}

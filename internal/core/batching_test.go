@@ -36,25 +36,25 @@ func TestManagerFormsMicroBatches(t *testing.T) {
 	if job.Crashed() {
 		t.Fatalf("job crashed: %v", job.CrashErr)
 	}
-	if job.Serving.Batches == 0 {
+	if job.ServingStats().Batches == 0 {
 		t.Fatal("no micro-batches launched")
 	}
-	if job.Serving.Served <= job.Serving.Batches {
+	if job.ServingStats().Served <= job.ServingStats().Batches {
 		t.Fatalf("Served=%d Batches=%d: batching never fused requests",
-			job.Serving.Served, job.Serving.Batches)
+			job.ServingStats().Served, job.ServingStats().Batches)
 	}
-	if mean := job.Serving.MeanBatch(); mean <= 1.0 {
+	if mean := job.ServingStats().MeanBatch(); mean <= 1.0 {
 		t.Fatalf("mean batch size %.2f, want > 1", mean)
 	}
-	if job.Serving.Shed != 0 {
-		t.Fatalf("shed %d requests with no SLO", job.Serving.Shed)
+	if job.ServingStats().Shed != 0 {
+		t.Fatalf("shed %d requests with no SLO", job.ServingStats().Shed)
 	}
-	if got, want := job.Latencies.Count(), job.Serving.Served; got != int(want) {
+	if got, want := job.Latencies.Count(), job.ServingStats().Served; got != int(want) {
 		t.Fatalf("latency samples %d != served %d", got, want)
 	}
 	// Iterations count fused launches, one per micro-batch.
-	if job.Iterations != int(job.Serving.Batches) {
-		t.Fatalf("Iterations=%d Batches=%d, want equal", job.Iterations, job.Serving.Batches)
+	if job.Iterations != int(job.ServingStats().Batches) {
+		t.Fatalf("Iterations=%d Batches=%d, want equal", job.Iterations, job.ServingStats().Batches)
 	}
 }
 
@@ -91,14 +91,14 @@ func TestBatchedServingSurvivesPreemption(t *testing.T) {
 	if victim.Crashed() || urgent.Crashed() {
 		t.Fatalf("crashes: victim=%v urgent=%v", victim.CrashErr, urgent.CrashErr)
 	}
-	if victim.Serving.Served+victim.Serving.Shed != victim.Serving.Offered {
+	if victim.ServingStats().Served+victim.ServingStats().Shed != victim.ServingStats().Offered {
 		t.Fatalf("request loss: offered=%d served=%d shed=%d",
-			victim.Serving.Offered, victim.Serving.Served, victim.Serving.Shed)
+			victim.ServingStats().Offered, victim.ServingStats().Served, victim.ServingStats().Shed)
 	}
-	if victim.Serving.Shed != 0 {
-		t.Fatalf("shed %d with no SLO configured", victim.Serving.Shed)
+	if victim.ServingStats().Shed != 0 {
+		t.Fatalf("shed %d with no SLO configured", victim.ServingStats().Shed)
 	}
-	if victim.Serving.Served <= victim.Serving.Batches {
+	if victim.ServingStats().Served <= victim.ServingStats().Batches {
 		t.Fatal("batching degenerated to single-request launches under preemption")
 	}
 }
@@ -116,11 +116,11 @@ func TestDisableDynamicBatchingClampsToSingleRequests(t *testing.T) {
 	if job.Crashed() {
 		t.Fatalf("job crashed: %v", job.CrashErr)
 	}
-	if job.Serving.Served == 0 {
+	if job.ServingStats().Served == 0 {
 		t.Fatal("no requests served")
 	}
-	if job.Serving.Batches != job.Serving.Served {
+	if job.ServingStats().Batches != job.ServingStats().Served {
 		t.Fatalf("Batches=%d Served=%d: batching ran despite DisableDynamicBatching",
-			job.Serving.Batches, job.Serving.Served)
+			job.ServingStats().Batches, job.ServingStats().Served)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"switchflow/internal/device"
 	"switchflow/internal/fault"
+	"switchflow/internal/obs"
 )
 
 // This file is SwitchFlow's self-healing path (§3.4, §5.2 under induced
@@ -21,16 +22,22 @@ var _ fault.Handler = (*Manager)(nil)
 // the hardware effect (a lost GPU is failed and its memory invalidated)
 // when this runs.
 func (m *Manager) HandleFault(ev fault.Event) {
-	m.Faults.Injected++
+	dev := ""
+	if ev.Device != (device.ID{}) {
+		dev = ev.Device.String()
+	}
+	m.bus.Emit(obs.Event{
+		Kind:   obs.KindFaultInject,
+		Ctx:    -1,
+		Device: dev,
+		Name:   ev.Kind.String(),
+	})
 	switch ev.Kind {
 	case fault.KindDeviceLost:
-		m.Faults.DeviceLost++
 		m.handleDeviceLost(ev.Device)
 	case fault.KindTransient:
-		m.Faults.Transients++
 		m.handleTransient(ev.Device)
 	case fault.KindInputStall:
-		m.Faults.InputStalls++
 		m.handleInputStall(ev.Duration)
 	case fault.KindDegraded:
 		// Hardware effect only: kernels on the device run slower until it
@@ -76,14 +83,27 @@ func (m *Manager) handleDeviceLost(dev device.ID) {
 		if !ok {
 			js.job.Crash(fmt.Errorf("core: %s: %w (%v, no healthy fallback)",
 				js.job.Cfg.Name, fault.ErrDeviceLost, dev))
-			m.Faults.JobsLost++
+			m.emitJobLost(js, dev, "no healthy fallback")
 			continue
 		}
-		m.Faults.Migrations++
 		m.Migrations++
+		m.bus.Emit(obs.Event{
+			Kind:   obs.KindMigrate,
+			Ctx:    js.job.Ctx,
+			Job:    js.job.Cfg.Name,
+			From:   dev.String(),
+			Device: to.String(),
+			Name:   "fault",
+		})
 		js.job.Restarted()
-		m.Faults.Restarts++
-		m.Faults.IterationsLost += js.job.RollbackToCheckpoint()
+		m.bus.Emit(obs.Event{
+			Kind:   obs.KindRestore,
+			Ctx:    js.job.Ctx,
+			Job:    js.job.Cfg.Name,
+			Device: to.String(),
+			Name:   "device-lost",
+			Count:  js.job.RollbackToCheckpoint(),
+		})
 		js.current = to
 		if js.checkpointed {
 			// Gandiva-mode job already checkpointed out to host memory; the
@@ -120,12 +140,12 @@ func (m *Manager) pickRecoveryTarget(js *jobState, lost device.ID) (device.ID, b
 func (m *Manager) restoreFromHost(js *jobState, faultAt time.Duration) {
 	if _, err := js.job.Version(js.current); err != nil {
 		js.job.Crash(err)
-		m.Faults.JobsLost++
+		m.emitJobLost(js, js.current, "no graph version")
 		return
 	}
 	if err := js.job.AllocWeights(js.current); err != nil {
 		js.job.Crash(fmt.Errorf("core: restore %s: %w", js.job.Cfg.Name, err))
-		m.Faults.JobsLost++
+		m.emitJobLost(js, js.current, "restore allocation failed")
 		return
 	}
 	js.weightsReady = false
@@ -173,8 +193,14 @@ func (m *Manager) handleTransient(dev device.ID) {
 	js.preempting = false
 	js.restarting = true
 	js.job.Restarted()
-	m.Faults.Restarts++
-	m.Faults.IterationsLost += js.job.RollbackToCheckpoint()
+	m.bus.Emit(obs.Event{
+		Kind:   obs.KindRestore,
+		Ctx:    js.job.Ctx,
+		Job:    js.job.Cfg.Name,
+		Device: dev.String(),
+		Name:   "transient",
+		Count:  js.job.RollbackToCheckpoint(),
+	})
 	backoff := js.job.NextRestartBackoff()
 	faultAt := m.eng.Now()
 	epoch := js.epoch
@@ -264,7 +290,7 @@ func (m *Manager) takeCheckpoint(js *jobState) {
 		// State already host-resident (CPU placement, Gandiva checkpoint-out,
 		// or mid-restore) — the snapshot is free.
 		js.job.RecordCheckpoint()
-		m.Faults.Checkpoints++
+		m.emitCheckpoint(js)
 		m.scheduleCheckpoint(js)
 		return
 	}
@@ -276,9 +302,31 @@ func (m *Manager) takeCheckpoint(js *jobState) {
 		}
 		if js.epoch == epoch {
 			js.job.RecordCheckpoint()
-			m.Faults.Checkpoints++
+			m.emitCheckpoint(js)
 		}
 		m.scheduleCheckpoint(js)
+	})
+}
+
+// emitJobLost publishes a job death (a fault with no recovery path).
+func (m *Manager) emitJobLost(js *jobState, dev device.ID, why string) {
+	m.bus.Emit(obs.Event{
+		Kind:   obs.KindJobLost,
+		Ctx:    js.job.Ctx,
+		Job:    js.job.Cfg.Name,
+		Device: dev.String(),
+		Name:   why,
+	})
+}
+
+// emitCheckpoint publishes a durable periodic host snapshot.
+func (m *Manager) emitCheckpoint(js *jobState) {
+	m.bus.Emit(obs.Event{
+		Kind:   obs.KindCheckpoint,
+		Ctx:    js.job.Ctx,
+		Job:    js.job.Cfg.Name,
+		Device: js.current.String(),
+		Name:   "periodic",
 	})
 }
 

@@ -41,10 +41,10 @@ func TestDeviceLossMigratesJobToFallback(t *testing.T) {
 	if job.Restarts != 1 {
 		t.Fatalf("Restarts = %d, want 1", job.Restarts)
 	}
-	if m.Faults.DeviceLost != 1 || m.Faults.Migrations != 1 || m.Faults.JobsLost != 0 {
-		t.Fatalf("fault counters = %+v", m.Faults)
+	if m.FaultCounters().DeviceLost != 1 || m.FaultCounters().Migrations != 1 || m.FaultCounters().JobsLost != 0 {
+		t.Fatalf("fault counters = %+v", m.FaultCounters())
 	}
-	if m.Faults.Checkpoints == 0 {
+	if m.FaultCounters().Checkpoints == 0 {
 		t.Fatal("periodic checkpointing never ran")
 	}
 	if m.RecoveryLatencies.Count() != 1 {
@@ -71,8 +71,8 @@ func TestDeviceLossWithoutFallbackCrashesJob(t *testing.T) {
 	if !errors.Is(job.CrashErr, fault.ErrDeviceLost) {
 		t.Fatalf("crash error = %v, want wrapped ErrDeviceLost", job.CrashErr)
 	}
-	if m.Faults.JobsLost != 1 {
-		t.Fatalf("JobsLost = %d, want 1", m.Faults.JobsLost)
+	if m.FaultCounters().JobsLost != 1 {
+		t.Fatalf("JobsLost = %d, want 1", m.FaultCounters().JobsLost)
 	}
 }
 
@@ -101,11 +101,11 @@ func TestTransientRestartsFromCheckpoint(t *testing.T) {
 	if job.Iterations <= atFault {
 		t.Fatalf("no progress after restart: %d at fault, %d at end", atFault, job.Iterations)
 	}
-	if m.Faults.Transients != 1 || m.Faults.JobsLost != 0 {
-		t.Fatalf("fault counters = %+v", m.Faults)
+	if m.FaultCounters().Transients != 1 || m.FaultCounters().JobsLost != 0 {
+		t.Fatalf("fault counters = %+v", m.FaultCounters())
 	}
 	// The rollback re-runs the iterations since the last 1s checkpoint.
-	if m.Faults.IterationsLost == 0 {
+	if m.FaultCounters().IterationsLost == 0 {
 		t.Fatal("transient rollback lost no iterations despite mid-interval fault")
 	}
 }
@@ -148,8 +148,8 @@ func TestInputStallPausesWithoutKillingJobs(t *testing.T) {
 	if job.Crashed() {
 		t.Fatalf("job crashed during input stall: %v", job.CrashErr)
 	}
-	if m.Faults.InputStalls != 1 {
-		t.Fatalf("InputStalls = %d, want 1", m.Faults.InputStalls)
+	if m.FaultCounters().InputStalls != 1 {
+		t.Fatalf("InputStalls = %d, want 1", m.FaultCounters().InputStalls)
 	}
 	stalled := job.Iterations
 	// The stall must cost throughput versus an undisturbed run.

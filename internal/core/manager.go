@@ -15,6 +15,7 @@ import (
 	"switchflow/internal/device"
 	"switchflow/internal/executor"
 	"switchflow/internal/metrics"
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 	"switchflow/internal/threadpool"
 	"switchflow/internal/workload"
@@ -84,11 +85,15 @@ type Manager struct {
 	Preemptions int
 	// Migrations counts device migrations.
 	Migrations int
-	// Faults accumulates fault-injection and recovery counters.
-	Faults metrics.FaultCounters
 	// RecoveryLatencies records fault-to-serving-again times for recovered
 	// jobs (device-lost migrations and transient restarts).
 	RecoveryLatencies metrics.Latency
+
+	// bus is the machine's observability spine; every scheduling decision
+	// is emitted there. faults aggregates the fault/recovery counters from
+	// those events instead of being hand-incremented per call site.
+	bus    *obs.Bus
+	faults metrics.FaultSink
 }
 
 type jobState struct {
@@ -135,12 +140,21 @@ func NewManager(eng *sim.Engine, machine *device.Machine, opts Options) *Manager
 		global:  threadpool.New(eng, "global", machine.CPU.Cores-opts.TempPoolThreads),
 		temp:    threadpool.New(eng, "temporary", opts.TempPoolThreads),
 		arbs:    make([]*arbiter, len(machine.GPUs)),
+		bus:     machine.Bus(),
 	}
 	for i := range m.arbs {
 		m.arbs[i] = &arbiter{}
 	}
+	m.bus.Subscribe(&m.faults, metrics.FaultSinkKinds...)
 	return m
 }
+
+// EventBus returns the observability spine the manager publishes to.
+func (m *Manager) EventBus() *obs.Bus { return m.bus }
+
+// FaultCounters returns the fault-injection and recovery counters,
+// aggregated from the observability spine.
+func (m *Manager) FaultCounters() metrics.FaultCounters { return m.faults.Counters() }
 
 // GlobalPool exposes the shared inter-op worker pool (tests, experiments).
 func (m *Manager) GlobalPool() *threadpool.Pool { return m.global }
@@ -368,6 +382,12 @@ func (m *Manager) startCompute(js *jobState) {
 			m.releaseFrom(js)
 			return
 		}
+		m.bus.Emit(obs.Event{
+			Kind:   obs.KindResume,
+			Ctx:    js.job.Ctx,
+			Job:    js.job.Cfg.Name,
+			Device: js.current.String(),
+		})
 		js.computeRun.Resume()
 		return
 	}
@@ -434,6 +454,13 @@ func (m *Manager) afterCompute(js *jobState) {
 			if js.epoch != epoch {
 				return // a fault already relocated the job mid-transfer
 			}
+			m.bus.Emit(obs.Event{
+				Kind:   obs.KindCheckpoint,
+				Ctx:    js.job.Ctx,
+				Job:    js.job.Cfg.Name,
+				Device: from.String(),
+				Name:   "preempt",
+			})
 			js.checkpointed = true
 			js.weightsReady = false
 			m.releaseFrom(js)
@@ -465,6 +492,13 @@ func (m *Manager) restoreCheckpoint(js *jobState) {
 		if js.epoch != epoch {
 			return // a fault already relocated the job mid-transfer
 		}
+		m.bus.Emit(obs.Event{
+			Kind:   obs.KindRestore,
+			Ctx:    js.job.Ctx,
+			Job:    js.job.Cfg.Name,
+			Device: js.current.String(),
+			Name:   "preempt",
+		})
 		js.restoring = false
 		js.checkpointed = false
 		js.weightsReady = true

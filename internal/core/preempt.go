@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"switchflow/internal/device"
+	"switchflow/internal/obs"
 )
 
 // arbiter serializes GPU executors on one GPU (scheduling invariant 1) and
@@ -68,6 +69,19 @@ func (m *Manager) recordGrant(js *jobState) {
 	m.PreemptionLatencies.Add(m.eng.Now() - js.acquiredAt)
 }
 
+// emitPreempt publishes a preemption decision: the victim, the device it
+// is displaced from, and the protocol used ("abort" for SwitchFlow's
+// abort-and-resume, "checkpoint" for the Gandiva-style ablation).
+func (m *Manager) emitPreempt(gpu int, victim *jobState, how string) {
+	m.bus.Emit(obs.Event{
+		Kind:   obs.KindPreempt,
+		Ctx:    victim.job.Ctx,
+		Job:    victim.job.Cfg.Name,
+		Device: device.GPUID(gpu).String(),
+		Name:   how,
+	})
+}
+
 // preempt suspends the victim's compute stage: queued nodes are aborted
 // from the thread pools and the stream's backlog is dropped; in-flight
 // kernels drain (the only component on the new job's critical path,
@@ -82,6 +96,7 @@ func (m *Manager) preempt(gpu int, victim *jobState) {
 		if !victim.checkpointRequested {
 			victim.checkpointRequested = true
 			m.Preemptions++
+			m.emitPreempt(gpu, victim, "checkpoint")
 		}
 		return
 	}
@@ -90,6 +105,7 @@ func (m *Manager) preempt(gpu int, victim *jobState) {
 	}
 	victim.preempting = true
 	m.Preemptions++
+	m.emitPreempt(gpu, victim, "abort")
 	if !m.opts.DisableTempPoolIsolation {
 		victim.inTempPool = true
 	}
@@ -189,6 +205,14 @@ func (m *Manager) migrate(victim *jobState, from, to device.ID, onDone func()) {
 		return
 	}
 	m.Migrations++
+	m.bus.Emit(obs.Event{
+		Kind:   obs.KindMigrate,
+		Ctx:    victim.job.Ctx,
+		Job:    victim.job.Cfg.Name,
+		From:   from.String(),
+		Device: to.String(),
+		Name:   "preempt",
+	})
 	victim.current = to
 	victim.weightsReady = false
 	path, err := m.machine.CopyPath(from, to)

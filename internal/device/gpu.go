@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 )
 
@@ -56,9 +57,8 @@ type GPU struct {
 	Class GPUClass
 	// Mem is the device memory pool.
 	Mem *MemPool
-	// SpanFunc, when set, receives a Span for every completed kernel.
-	SpanFunc func(Span)
 
+	bus        *obs.Bus
 	id         ID
 	eng        *sim.Engine
 	running    []*kernelExec
@@ -86,6 +86,19 @@ func NewGPU(eng *sim.Engine, id ID, class GPUClass) *GPU {
 
 // ID returns the device identifier.
 func (g *GPU) ID() ID { return g.id }
+
+// EventBus returns the observability bus this GPU publishes to. GPUs
+// built through NewMachine share the machine's bus; a standalone GPU
+// lazily creates a private one so tests can subscribe directly.
+func (g *GPU) EventBus() *obs.Bus {
+	if g.bus == nil {
+		g.bus = obs.NewBus(g.eng)
+	}
+	return g.bus
+}
+
+// SetBus points the GPU at a shared bus (called by NewMachine).
+func (g *GPU) SetBus(b *obs.Bus) { g.bus = b }
 
 // Submit queues k for execution. It starts immediately if its occupancy
 // fits alongside the kernels already running, otherwise it waits FIFO.
@@ -304,9 +317,17 @@ func (g *GPU) complete() {
 		g.usedOcc = 0 // absorb float drift at idle points
 	}
 	g.admit()
+	emitSpans := g.bus.Wants(obs.KindKernelSpan)
 	for _, e := range done {
-		if g.SpanFunc != nil {
-			g.SpanFunc(Span{Name: e.Name, Ctx: e.Ctx, Start: e.started, End: g.eng.Now()})
+		if emitSpans {
+			g.bus.Emit(obs.Event{
+				Kind:   obs.KindKernelSpan,
+				Ctx:    e.Ctx,
+				Device: g.id.String(),
+				Name:   e.Name,
+				Start:  e.started,
+				Dur:    g.eng.Now() - e.started,
+			})
 		}
 		if e.OnDone != nil {
 			e.OnDone()

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 )
 
@@ -136,12 +137,22 @@ func TestGPUOutstandingWorkIncludesQueue(t *testing.T) {
 	}
 }
 
-func TestGPUSpanFunc(t *testing.T) {
+// collectSpans subscribes a sink to the GPU's bus and returns the slice
+// kernel-span events accumulate into.
+func collectSpans(gpu *GPU) *[]Span {
+	spans := &[]Span{}
+	gpu.EventBus().Subscribe(obs.SinkFunc(func(e obs.Event) {
+		*spans = append(*spans, Span{Name: e.Name, Ctx: e.Ctx, Start: e.Start, End: e.Start + e.Dur})
+	}), obs.KindKernelSpan)
+	return spans
+}
+
+func TestGPUEmitsKernelSpans(t *testing.T) {
 	eng, gpu := newTestGPU()
-	var spans []Span
-	gpu.SpanFunc = func(s Span) { spans = append(spans, s) }
+	spansp := collectSpans(gpu)
 	gpu.Submit(Kernel{Name: "k", Ctx: 7, Work: 3 * time.Millisecond, Occupancy: 0.9})
 	eng.Run()
+	spans := *spansp
 	if len(spans) != 1 {
 		t.Fatalf("got %d spans, want 1", len(spans))
 	}
@@ -151,13 +162,24 @@ func TestGPUSpanFunc(t *testing.T) {
 	}
 }
 
+func TestGPUSpanSinksCompose(t *testing.T) {
+	eng, gpu := newTestGPU()
+	first := collectSpans(gpu)
+	second := collectSpans(gpu)
+	gpu.Submit(Kernel{Name: "k", Ctx: 1, Work: time.Millisecond, Occupancy: 0.9})
+	eng.Run()
+	if len(*first) != 1 || len(*second) != 1 {
+		t.Fatalf("both sinks should observe the span: first=%d second=%d", len(*first), len(*second))
+	}
+}
+
 func TestGPUSpanStartIsAdmissionTime(t *testing.T) {
 	eng, gpu := newTestGPU()
-	var spans []Span
-	gpu.SpanFunc = func(s Span) { spans = append(spans, s) }
+	spansp := collectSpans(gpu)
 	gpu.Submit(Kernel{Name: "a", Work: 10 * time.Millisecond, Occupancy: 0.9})
 	gpu.Submit(Kernel{Name: "b", Work: 5 * time.Millisecond, Occupancy: 0.9})
 	eng.Run()
+	spans := *spansp
 	if len(spans) != 2 {
 		t.Fatalf("got %d spans", len(spans))
 	}

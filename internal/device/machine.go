@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 )
 
@@ -17,17 +18,22 @@ type Machine struct {
 	// GPUs are the attached accelerators, indexed by GPUID.
 	GPUs []*GPU
 
+	bus  *obs.Bus
 	h2d  []*CopyEngine
 	d2h  []*CopyEngine
 	peer *CopyEngine
 }
 
-// NewMachine builds a machine with the given CPU and GPU classes.
+// NewMachine builds a machine with the given CPU and GPU classes. All of
+// the machine's devices publish to one shared observability bus, so a
+// single subscriber sees every layer's events in one sequence.
 func NewMachine(eng *sim.Engine, cpu CPUClass, gpuClasses ...GPUClass) *Machine {
-	m := &Machine{Eng: eng, CPU: cpu}
+	m := &Machine{Eng: eng, CPU: cpu, bus: obs.NewBus(eng)}
 	peerBW := 0.0
 	for i, class := range gpuClasses {
-		m.GPUs = append(m.GPUs, NewGPU(eng, GPUID(i), class))
+		gpu := NewGPU(eng, GPUID(i), class)
+		gpu.SetBus(m.bus)
+		m.GPUs = append(m.GPUs, gpu)
 		m.h2d = append(m.h2d, NewCopyEngine(eng, class.PCIeGBps))
 		m.d2h = append(m.d2h, NewCopyEngine(eng, class.PCIeGBps))
 		if class.PCIeGBps > peerBW {
@@ -40,6 +46,9 @@ func NewMachine(eng *sim.Engine, cpu CPUClass, gpuClasses ...GPUClass) *Machine 
 	m.peer = NewCopyEngine(eng, peerBW)
 	return m
 }
+
+// Bus returns the machine's shared observability bus.
+func (m *Machine) Bus() *obs.Bus { return m.bus }
 
 // GPU returns the i-th GPU or nil when out of range.
 func (m *Machine) GPU(i int) *GPU {

@@ -14,6 +14,7 @@ import (
 	"switchflow/internal/cost"
 	"switchflow/internal/device"
 	"switchflow/internal/graph"
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 	"switchflow/internal/threadpool"
 )
@@ -36,6 +37,10 @@ type Config struct {
 	Machine *device.Machine
 	// Ctx tags kernels for traces (one id per job).
 	Ctx int
+	// Bus, when set, receives OpSched and Launch events on the
+	// observability spine. Emission is gated on active subscribers, so an
+	// unobserved run pays only a nil-check on this hot path.
+	Bus *obs.Bus
 	// Eager charges every GPU op a framework dispatch overhead — dynamic
 	// graph execution interprets user code per op instead of replaying a
 	// pre-optimized plan (§1).
@@ -213,6 +218,20 @@ func (r *Run) dispatch(n *graph.Node, preferred int, front bool) {
 	if n.Op == graph.OpPreprocess && r.cfg.DataPool != nil {
 		pool = r.cfg.DataPool
 	}
+	if r.cfg.Bus.Wants(obs.KindOpSched) {
+		from := "any"
+		if preferred >= 0 {
+			from = "local"
+		}
+		r.cfg.Bus.Emit(obs.Event{
+			Kind:   obs.KindOpSched,
+			Ctx:    r.cfg.Ctx,
+			Device: r.sub.Device.String(),
+			From:   from,
+			Name:   n.Name,
+			Dur:    duration,
+		})
+	}
 	if r.sub.Device.Kind == device.KindCPU {
 		if shards := intraOpShards(n, duration, pool.Size()); shards > 1 {
 			r.dispatchSharded(n, pool, duration, shards)
@@ -315,6 +334,15 @@ func (r *Run) process(n *graph.Node) {
 		if work == 0 {
 			r.complete(n)
 			return
+		}
+		if r.cfg.Bus.Wants(obs.KindLaunch) {
+			r.cfg.Bus.Emit(obs.Event{
+				Kind:   obs.KindLaunch,
+				Ctx:    r.cfg.Ctx,
+				Device: r.sub.Device.String(),
+				Name:   n.Name,
+				Dur:    work,
+			})
 		}
 		r.cfg.Stream.Enqueue(device.Kernel{
 			Name:      n.Name,

@@ -95,7 +95,7 @@ func servingOne(ratePerSec float64, window time.Duration, batched bool) ServingA
 	if job.Crashed() {
 		panic(job.CrashErr)
 	}
-	st := job.Serving
+	st := job.ServingStats()
 	arm := ServingArm{
 		GoodputPS: float64(st.SLOMet) / window.Seconds(),
 		P95MS:     job.Latencies.Percentile(95).Seconds() * 1e3,

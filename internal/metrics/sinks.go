@@ -1,0 +1,96 @@
+package metrics
+
+import "switchflow/internal/obs"
+
+// FaultSinkKinds are the event kinds a FaultSink must subscribe to.
+var FaultSinkKinds = []obs.Kind{
+	obs.KindFaultInject, obs.KindJobLost, obs.KindMigrate,
+	obs.KindRestore, obs.KindCheckpoint,
+}
+
+// FaultSink derives FaultCounters from the observability spine instead of
+// hand-plumbed increments: subscribe one to a simulation's bus (with
+// FaultSinkKinds) and the counters aggregate themselves as the scheduler
+// emits fault and recovery events.
+type FaultSink struct {
+	counters FaultCounters
+}
+
+// Observe implements obs.Sink.
+func (s *FaultSink) Observe(e obs.Event) {
+	switch e.Kind {
+	case obs.KindFaultInject:
+		s.counters.Injected++
+		switch e.Name {
+		case "device-lost":
+			s.counters.DeviceLost++
+		case "transient":
+			s.counters.Transients++
+		case "input-stall":
+			s.counters.InputStalls++
+		}
+	case obs.KindJobLost:
+		s.counters.JobsLost++
+	case obs.KindMigrate:
+		// Only fault-triggered migrations count here; preemption
+		// migrations are a scheduling decision, tracked separately.
+		if e.Name == "fault" {
+			s.counters.Migrations++
+		}
+	case obs.KindRestore:
+		// Checkpoint-based preemption also restores state; only
+		// fault-recovery restores are crash restarts.
+		if e.Name == "device-lost" || e.Name == "transient" {
+			s.counters.Restarts++
+			s.counters.IterationsLost += e.Count
+		}
+	case obs.KindCheckpoint:
+		// Gandiva-style suspend checkpoints (Name="preempt") are part of
+		// the preemption protocol, not the fault-tolerance background
+		// snapshot cadence this counter reports.
+		if e.Name != "preempt" {
+			s.counters.Checkpoints++
+		}
+	}
+}
+
+// Counters returns the current aggregate.
+func (s *FaultSink) Counters() FaultCounters { return s.counters }
+
+// ServingSinkKinds are the event kinds a ServingSink must subscribe to.
+var ServingSinkKinds = []obs.Kind{
+	obs.KindAdmit, obs.KindShed, obs.KindServe, obs.KindBatchFuse,
+}
+
+// ServingSink derives one job's ServingCounters from the spine's serving
+// events, filtered by context id (a machine bus carries every job's
+// events interleaved).
+type ServingSink struct {
+	// Ctx is the job context this sink accounts for.
+	Ctx      int
+	counters ServingCounters
+}
+
+// Observe implements obs.Sink.
+func (s *ServingSink) Observe(e obs.Event) {
+	if e.Ctx != s.Ctx {
+		return
+	}
+	switch e.Kind {
+	case obs.KindAdmit:
+		s.counters.Offered++
+	case obs.KindShed:
+		s.counters.Offered++
+		s.counters.Shed++
+	case obs.KindServe:
+		s.counters.Served++
+		if e.Count > 0 {
+			s.counters.SLOMet++
+		}
+	case obs.KindBatchFuse:
+		s.counters.Batches++
+	}
+}
+
+// Counters returns the current aggregate.
+func (s *ServingSink) Counters() ServingCounters { return s.counters }

@@ -1,0 +1,140 @@
+// Chrome trace-event export: renders a spine event stream as the JSON
+// Array Format understood by Perfetto and chrome://tracing. Kernel spans
+// become duration events on one track per (GPU, context) pair; scheduler
+// decisions (preemptions, migrations, faults, checkpoints, sheds,
+// placements) become instant events on a dedicated "scheduler" process so
+// they line up visually against the kernel interleavings they caused.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the trace-event array. Field order and
+// encoding are fixed by encoding/json's deterministic struct marshalling,
+// so identical event streams serialize to identical bytes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// schedulerPid is the synthetic process hosting decision events; device
+// processes are numbered from 1 in first-appearance order.
+const schedulerPid = 0
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func metaEvent(pid, tid int, name, value string) chromeEvent {
+	return chromeEvent{
+		Name: name,
+		Ph:   "M",
+		Pid:  pid,
+		Tid:  tid,
+		Args: map[string]any{"name": value},
+	}
+}
+
+// WriteChrome renders events as Chrome trace-event JSON. The input is
+// expected in emission order (as produced by a Recorder); output is
+// deterministic — a byte-for-byte function of the event stream.
+func WriteChrome(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents,
+		metaEvent(schedulerPid, 0, "process_name", "scheduler"))
+
+	// Device processes and per-(device, ctx) threads are numbered in
+	// first-appearance order, so the mapping itself replays identically.
+	devicePid := map[string]int{}
+	type track struct {
+		pid, tid int
+	}
+	ctxTid := map[string]track{}
+	pidOf := func(device string) int {
+		if pid, ok := devicePid[device]; ok {
+			return pid
+		}
+		pid := len(devicePid) + 1
+		devicePid[device] = pid
+		out.TraceEvents = append(out.TraceEvents,
+			metaEvent(pid, 0, "process_name", device))
+		return pid
+	}
+	tidOf := func(device string, ctx int) (int, int) {
+		key := fmt.Sprintf("%s/%d", device, ctx)
+		if t, ok := ctxTid[key]; ok {
+			return t.pid, t.tid
+		}
+		pid := pidOf(device)
+		tid := ctx + 1 // tid 0 is reserved for the process-name row
+		ctxTid[key] = track{pid: pid, tid: tid}
+		out.TraceEvents = append(out.TraceEvents,
+			metaEvent(pid, tid, "thread_name", fmt.Sprintf("ctx %d", ctx)))
+		return pid, tid
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindKernelSpan:
+			pid, tid := tidOf(e.Device, e.Ctx)
+			dur := usec(e.Dur)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Name,
+				Ph:   "X",
+				Ts:   usec(e.Start),
+				Dur:  &dur,
+				Pid:  pid,
+				Tid:  tid,
+			})
+		case KindOpSched:
+			// Executor-level dispatch is far too voluminous for a visual
+			// trace; it stays queryable through Recorder.Events.
+			continue
+		default:
+			args := map[string]any{"seq": e.Seq}
+			if e.Ctx >= 0 {
+				args["ctx"] = e.Ctx
+			}
+			if e.Job != "" {
+				args["job"] = e.Job
+			}
+			if e.Device != "" {
+				args["device"] = e.Device
+			}
+			if e.From != "" {
+				args["from"] = e.From
+			}
+			if e.Name != "" {
+				args["detail"] = e.Name
+			}
+			if e.Count != 0 {
+				args["count"] = e.Count
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Kind.String(),
+				Ph:   "i",
+				Ts:   usec(e.Time),
+				Pid:  schedulerPid,
+				Tid:  0,
+				S:    "g",
+			})
+			out.TraceEvents[len(out.TraceEvents)-1].Args = args
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

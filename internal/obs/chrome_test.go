@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func chromeFixture() []Event {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Event{
+		{Seq: 1, Time: ms(5), Kind: KindKernelSpan, Ctx: 0, Device: "gpu:0", Name: "conv", Start: ms(0), Dur: ms(5)},
+		{Seq: 2, Time: ms(6), Kind: KindPreempt, Ctx: 0, Job: "resnet", Device: "gpu:0", Name: "abort"},
+		{Seq: 3, Time: ms(7), Kind: KindOpSched, Ctx: 1, Name: "gemm"}, // excluded from chrome output
+		{Seq: 4, Time: ms(9), Kind: KindKernelSpan, Ctx: 1, Device: "gpu:1", Name: "gemm", Start: ms(6), Dur: ms(3)},
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, chromeFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Ts   float64         `json:"ts"`
+			Dur  *float64        `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var spans, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur == nil {
+				t.Errorf("span %q has no dur", e.Name)
+			}
+		case "i":
+			instants++
+			if e.Pid != 0 {
+				t.Errorf("instant %q on pid %d, want the scheduler track (0)", e.Name, e.Pid)
+			}
+		}
+		if e.Name == "OpSched" {
+			t.Error("OpSched leaked into the chrome export")
+		}
+	}
+	if spans != 2 {
+		t.Errorf("%d duration events, want 2", spans)
+	}
+	if instants != 1 {
+		t.Errorf("%d instant events, want 1 (the Preempt)", instants)
+	}
+}
+
+func TestWriteChromeDeterministicBytes(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, chromeFixture()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	for i := 0; i < 20; i++ {
+		if !bytes.Equal(first, render()) {
+			t.Fatalf("iteration %d: chrome export bytes differ", i)
+		}
+	}
+}
+
+func TestWriteChromeEmptyEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+}

@@ -34,7 +34,8 @@ func (t *Timeline) Profile() []KernelStat {
 	}
 	agg := make(map[key]*KernelStat)
 	var grandTotal time.Duration
-	for _, s := range t.spans {
+	for _, r := range t.recs {
+		s := r.span
 		k := key{name: s.Name, ctx: s.Ctx}
 		st, ok := agg[k]
 		if !ok {

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+)
+
+func namedSpan(name string, ctx int, startMS, endMS int) device.Span {
+	return device.Span{
+		Name:  name,
+		Ctx:   ctx,
+		Start: time.Duration(startMS) * time.Millisecond,
+		End:   time.Duration(endMS) * time.Millisecond,
+	}
+}
+
+func TestProfileSharesSumToOne(t *testing.T) {
+	var tl Timeline
+	tl.Add(namedSpan("conv", 1, 0, 10))
+	tl.Add(namedSpan("conv", 1, 10, 30))
+	tl.Add(namedSpan("gemm", 2, 0, 15))
+	tl.Add(namedSpan("relu", 1, 30, 31))
+	stats := tl.Profile()
+	if len(stats) != 3 {
+		t.Fatalf("got %d kernel stats, want 3", len(stats))
+	}
+	var sum float64
+	for _, st := range stats {
+		if st.Share < 0 || st.Share > 1 {
+			t.Fatalf("%s: Share = %v outside [0,1]", st.Name, st.Share)
+		}
+		sum += st.Share
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("shares sum to %v, want ~1.0", sum)
+	}
+}
+
+func TestProfileAggregatesAndOrdersByTotalDescending(t *testing.T) {
+	var tl Timeline
+	tl.Add(namedSpan("small", 1, 0, 2))
+	tl.Add(namedSpan("big", 1, 2, 22))
+	tl.Add(namedSpan("mid", 1, 22, 30))
+	tl.Add(namedSpan("big", 1, 30, 40)) // second call of "big"
+	stats := tl.Profile()
+	if stats[0].Name != "big" || stats[1].Name != "mid" || stats[2].Name != "small" {
+		t.Fatalf("profile order = %s,%s,%s, want big,mid,small",
+			stats[0].Name, stats[1].Name, stats[2].Name)
+	}
+	if stats[0].Count != 2 || stats[0].Total != 30*time.Millisecond {
+		t.Fatalf("big: count=%d total=%v, want 2/30ms", stats[0].Count, stats[0].Total)
+	}
+	if stats[0].Mean != 15*time.Millisecond || stats[0].Max != 20*time.Millisecond {
+		t.Fatalf("big: mean=%v max=%v, want 15ms/20ms", stats[0].Mean, stats[0].Max)
+	}
+}
+
+func TestProfileEqualTotalsHaveStableOrder(t *testing.T) {
+	build := func() *Timeline {
+		var tl Timeline
+		// Three distinct (name, ctx) rows with identical totals: order
+		// must fall back to (Name, Ctx) and replay identically.
+		tl.Add(namedSpan("b", 2, 0, 10))
+		tl.Add(namedSpan("a", 1, 10, 20))
+		tl.Add(namedSpan("a", 2, 20, 30))
+		return &tl
+	}
+	want := build().Profile()
+	if want[0].Name != "a" || want[0].Ctx != 1 ||
+		want[1].Name != "a" || want[1].Ctx != 2 ||
+		want[2].Name != "b" {
+		t.Fatalf("tie-break order = %v", want)
+	}
+	for i := 0; i < 50; i++ {
+		got := build().Profile()
+		for j := range want {
+			if got[j].Name != want[j].Name || got[j].Ctx != want[j].Ctx {
+				t.Fatalf("iteration %d: order changed: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestSpansTieBreakByEmitSequence(t *testing.T) {
+	// Zero-duration spans with identical (Start, Ctx): the emit order is
+	// the only defensible order, and it must replay identically.
+	build := func() *Timeline {
+		var tl Timeline
+		tl.Add(namedSpan("first", 1, 5, 5))
+		tl.Add(namedSpan("second", 1, 5, 5))
+		tl.Add(namedSpan("third", 1, 5, 5))
+		return &tl
+	}
+	for i := 0; i < 50; i++ {
+		spans := build().Spans()
+		if spans[0].Name != "first" || spans[1].Name != "second" || spans[2].Name != "third" {
+			t.Fatalf("iteration %d: identical-key spans reordered: %v", i, spans)
+		}
+	}
+}

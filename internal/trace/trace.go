@@ -11,40 +11,91 @@ import (
 	"time"
 
 	"switchflow/internal/device"
+	"switchflow/internal/obs"
 )
 
-// Timeline accumulates kernel spans from one or more GPUs.
-type Timeline struct {
-	spans []device.Span
+// record pairs a span with its arrival order. Spans reach the timeline in
+// bus-emission order, so the arrival index doubles as the emit sequence
+// and gives Spans() a total, reproducible order even for identical
+// (Start, Ctx) pairs.
+type record struct {
+	span device.Span
+	seq  uint64
 }
 
-// Attach subscribes the timeline to gpu's kernel completions. Any previous
-// subscriber on that GPU is replaced.
+// Timeline accumulates kernel spans from one or more GPUs. It is an
+// obs.Sink over the observability spine: subscribe it to a bus with
+// AttachBus (every device) or Attach (one GPU, back-compat).
+type Timeline struct {
+	recs    []record
+	nextSeq uint64
+}
+
+// Observe implements obs.Sink: kernel-span events are recorded, all
+// other kinds are ignored, so a Timeline may share a bus subscription
+// with richer consumers.
+func (t *Timeline) Observe(e obs.Event) {
+	if e.Kind != obs.KindKernelSpan {
+		return
+	}
+	t.Add(device.Span{Name: e.Name, Ctx: e.Ctx, Start: e.Start, End: e.Start + e.Dur})
+}
+
+// AttachBus subscribes the timeline to every kernel span published on
+// bus. Sinks compose: other subscribers on the same bus are unaffected.
+func (t *Timeline) AttachBus(bus *obs.Bus) {
+	bus.Subscribe(t, obs.KindKernelSpan)
+}
+
+// Attach subscribes the timeline to gpu's kernel completions only,
+// filtering out spans from other devices on the same bus.
+//
+// Deprecated: Attach predates the observability spine, when each GPU had
+// a single replaceable span hook. It now registers a composable bus sink
+// and no longer displaces other subscribers; new code should use
+// AttachBus or subscribe to the machine bus directly.
 func (t *Timeline) Attach(gpu *device.GPU) {
-	gpu.SpanFunc = func(s device.Span) { t.spans = append(t.spans, s) }
+	id := gpu.ID().String()
+	gpu.EventBus().Subscribe(obs.SinkFunc(func(e obs.Event) {
+		if e.Device == id {
+			t.Observe(e)
+		}
+	}), obs.KindKernelSpan)
 }
 
 // Add records a span directly.
-func (t *Timeline) Add(s device.Span) { t.spans = append(t.spans, s) }
+func (t *Timeline) Add(s device.Span) {
+	t.nextSeq++
+	t.recs = append(t.recs, record{span: s, seq: t.nextSeq})
+}
 
-// Spans returns the recorded spans ordered by start time.
+// Spans returns the recorded spans ordered by start time. Ties (same
+// Start and Ctx — e.g. zero-duration kernels) break by emit sequence, so
+// the order is total and identical across runs.
 func (t *Timeline) Spans() []device.Span {
-	out := make([]device.Span, len(t.spans))
-	copy(out, t.spans)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+	recs := make([]record, len(t.recs))
+	copy(recs, t.recs)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].span.Start != recs[j].span.Start {
+			return recs[i].span.Start < recs[j].span.Start
 		}
-		return out[i].Ctx < out[j].Ctx
+		if recs[i].span.Ctx != recs[j].span.Ctx {
+			return recs[i].span.Ctx < recs[j].span.Ctx
+		}
+		return recs[i].seq < recs[j].seq
 	})
+	out := make([]device.Span, len(recs))
+	for i, r := range recs {
+		out[i] = r.span
+	}
 	return out
 }
 
 // Contexts returns the distinct kernel contexts observed, sorted.
 func (t *Timeline) Contexts() []int {
 	seen := make(map[int]bool)
-	for _, s := range t.spans {
-		seen[s.Ctx] = true
+	for _, r := range t.recs {
+		seen[r.span.Ctx] = true
 	}
 	ctxs := make([]int, 0, len(seen))
 	for ctx := range seen {
@@ -57,9 +108,9 @@ func (t *Timeline) Contexts() []int {
 // BusyTime returns the total kernel time attributed to ctx.
 func (t *Timeline) BusyTime(ctx int) time.Duration {
 	var total time.Duration
-	for _, s := range t.spans {
-		if s.Ctx == ctx {
-			total += s.End - s.Start
+	for _, r := range t.recs {
+		if r.span.Ctx == ctx {
+			total += r.span.End - r.span.Start
 		}
 	}
 	return total

@@ -5,6 +5,7 @@ import (
 
 	"switchflow/internal/cost"
 	"switchflow/internal/device"
+	"switchflow/internal/obs"
 )
 
 // This file is the serving job's dynamic-batching and admission-control
@@ -143,11 +144,11 @@ func (j *Job) NextComputeVersion(dev device.ID) (*Version, error) {
 // admitArrival runs the admission controller on one arriving request and
 // reports whether it was enqueued. Shed requests are counted and dropped.
 func (j *Job) admitArrival(now time.Duration) bool {
-	j.Serving.Offered++
 	if j.shouldShed() {
-		j.Serving.Shed++
+		j.bus.Emit(obs.Event{Kind: obs.KindShed, Ctx: j.Ctx, Job: j.Cfg.Name, Start: now})
 		return false
 	}
+	j.bus.Emit(obs.Event{Kind: obs.KindAdmit, Ctx: j.Ctx, Job: j.Cfg.Name, Start: now})
 	j.pending.Push(now)
 	return true
 }

@@ -47,8 +47,8 @@ func TestMicroBatchFormation(t *testing.T) {
 	if job.Iterations != 1 {
 		t.Fatalf("Iterations = %d, want 1 (one fused launch)", job.Iterations)
 	}
-	if job.Serving.Served != 4 || job.Serving.Batches != 1 {
-		t.Fatalf("Served/Batches = %d/%d, want 4/1", job.Serving.Served, job.Serving.Batches)
+	if job.ServingStats().Served != 4 || job.ServingStats().Batches != 1 {
+		t.Fatalf("Served/Batches = %d/%d, want 4/1", job.ServingStats().Served, job.ServingStats().Batches)
 	}
 	if job.Latencies.Count() != 4 {
 		t.Fatalf("latency samples = %d, want one per request", job.Latencies.Count())
@@ -89,8 +89,8 @@ func TestAdmissionShedsBeyondSLO(t *testing.T) {
 	// open-loop arrival must be shed and nothing enqueued.
 	job, admit := servingJob(t, 4, time.Microsecond, 0)
 	admit(5)
-	if job.Serving.Offered != 5 || job.Serving.Shed != 5 {
-		t.Fatalf("Offered/Shed = %d/%d, want 5/5", job.Serving.Offered, job.Serving.Shed)
+	if job.ServingStats().Offered != 5 || job.ServingStats().Shed != 5 {
+		t.Fatalf("Offered/Shed = %d/%d, want 5/5", job.ServingStats().Offered, job.ServingStats().Shed)
 	}
 	if job.PendingRequests() != 0 {
 		t.Fatalf("shed requests were enqueued: %d pending", job.PendingRequests())
@@ -102,8 +102,8 @@ func TestAdmissionAdmitsWithinSLO(t *testing.T) {
 	// until the backlog projection actually exceeds it.
 	job, admit := servingJob(t, 4, 10*time.Second, 0)
 	admit(3)
-	if job.Serving.Shed != 0 {
-		t.Fatalf("Shed = %d with a 10s SLO and 3 requests", job.Serving.Shed)
+	if job.ServingStats().Shed != 0 {
+		t.Fatalf("Shed = %d with a 10s SLO and 3 requests", job.ServingStats().Shed)
 	}
 	if job.PendingRequests() != 3 {
 		t.Fatalf("pending = %d, want 3", job.PendingRequests())
@@ -117,8 +117,8 @@ func TestClosedLoopNeverSheds(t *testing.T) {
 	})
 	job.StartArrivals(func() {})
 	eng.Run()
-	if job.Serving.Shed != 0 {
-		t.Fatalf("closed-loop request shed: %d", job.Serving.Shed)
+	if job.ServingStats().Shed != 0 {
+		t.Fatalf("closed-loop request shed: %d", job.ServingStats().Shed)
 	}
 	if job.PendingRequests() != 1 {
 		t.Fatalf("pending = %d, want 1", job.PendingRequests())
@@ -181,9 +181,9 @@ func TestAbandonComputeReturnsMicroBatch(t *testing.T) {
 		t.Fatalf("re-formed batch %v, want original %v in arrival order", job.active, first)
 	}
 	job.FinishCompute()
-	if job.Serving.Served != 2 || job.Iterations != 1 {
+	if job.ServingStats().Served != 2 || job.Iterations != 1 {
 		t.Fatalf("Served/Iterations = %d/%d after abandon+retry, want 2/1",
-			job.Serving.Served, job.Iterations)
+			job.ServingStats().Served, job.Iterations)
 	}
 }
 

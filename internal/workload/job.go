@@ -15,6 +15,7 @@ import (
 	"switchflow/internal/graph"
 	"switchflow/internal/metrics"
 	"switchflow/internal/models"
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 	"switchflow/internal/threadpool"
 )
@@ -131,9 +132,6 @@ type Job struct {
 	CrashErr error
 	// Restarts counts crash-and-restart recoveries (fault injection).
 	Restarts int
-	// Serving tracks the admission-control and batching outcomes of a
-	// serving job: offered, shed, served, SLO-met, and batch counts.
-	Serving metrics.ServingCounters
 
 	// InputsInFlight counts concurrently running input-stage activations
 	// (tf.data overlaps the preprocessing of several batches); together
@@ -144,6 +142,11 @@ type Job struct {
 
 	eng      *sim.Engine
 	machine  *device.Machine
+	bus      *obs.Bus
+	// serving aggregates the job's admission/batching outcomes from the
+	// observability spine (it subscribes to the machine bus, filtered by
+	// context) instead of being hand-incremented at each call site.
+	serving  metrics.ServingSink
 	versions map[device.ID]*Version
 	streams  map[device.ID]*device.Stream
 	dataPool *threadpool.Pool
@@ -217,6 +220,8 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 		Ctx:           ctx,
 		eng:           eng,
 		machine:       machine,
+		bus:           machine.Bus(),
+		serving:       metrics.ServingSink{Ctx: ctx},
 		versions:      make(map[device.ID]*Version),
 		streams:       make(map[device.ID]*device.Stream),
 		dataPool:      threadpool.New(eng, "data:"+cfg.Name, dataWorkers),
@@ -236,8 +241,18 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 		}
 		j.versions[dev] = v
 	}
+	j.bus.Subscribe(&j.serving, metrics.ServingSinkKinds...)
 	return j, nil
 }
+
+// ServingStats returns the job's admission-control and batching outcomes
+// (offered, shed, served, SLO-met, batches), aggregated from the
+// observability spine.
+func (j *Job) ServingStats() metrics.ServingCounters { return j.serving.Counters() }
+
+// EventBus returns the observability bus the job publishes to (the
+// machine's shared bus).
+func (j *Job) EventBus() *obs.Bus { return j.bus }
 
 func (j *Job) buildVersion(dev device.ID) (*Version, error) {
 	return j.buildVersionBatch(dev, j.Cfg.Batch)
@@ -526,15 +541,29 @@ func (j *Job) FinishCompute() {
 		return
 	}
 	if len(j.active) > 0 {
-		j.Serving.Batches++
+		j.bus.Emit(obs.Event{
+			Kind:   obs.KindBatchFuse,
+			Ctx:    j.Ctx,
+			Job:    j.Cfg.Name,
+			Device: j.Cfg.Device.String(),
+			Count:  len(j.active),
+		})
 		now := j.eng.Now()
 		for _, arrived := range j.active {
 			lat := now - arrived
 			j.Latencies.Add(lat)
-			j.Serving.Served++
+			met := 0
 			if j.Cfg.SLO > 0 && lat <= j.Cfg.SLO {
-				j.Serving.SLOMet++
+				met = 1
 			}
+			j.bus.Emit(obs.Event{
+				Kind:  obs.KindServe,
+				Ctx:   j.Ctx,
+				Job:   j.Cfg.Name,
+				Start: arrived,
+				Dur:   lat,
+				Count: met,
+			})
 		}
 		j.active = nil
 	}
@@ -572,6 +601,7 @@ func (j *Job) StartExec(sub *graph.Subgraph, cfg executor.Config, onDone func())
 	cfg.Ctx = j.Ctx
 	cfg.Machine = j.machine
 	cfg.CPUClass = j.machine.CPU
+	cfg.Bus = j.bus
 	if cfg.DataPool == nil {
 		cfg.DataPool = j.dataPool
 	}

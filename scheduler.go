@@ -138,7 +138,7 @@ func (s *SwitchFlowScheduler) PreemptionP95() time.Duration {
 }
 
 // FaultStats implements Scheduler.
-func (s *SwitchFlowScheduler) FaultStats() FaultStats { return faultStatsFrom(s.m.Faults) }
+func (s *SwitchFlowScheduler) FaultStats() FaultStats { return faultStatsFrom(s.m.FaultCounters()) }
 
 // RecoveryP95 returns the 95th-percentile fault-to-serving-again latency
 // across recovered jobs (migrations after device loss, restarts after

@@ -7,6 +7,7 @@ import (
 
 	"switchflow/internal/device"
 	"switchflow/internal/models"
+	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
@@ -77,6 +78,13 @@ func NewSimulation(spec MachineSpec) *Simulation {
 
 // Now returns the current virtual time.
 func (s *Simulation) Now() time.Duration { return s.eng.Now() }
+
+// EventBus returns the simulation's observability spine: every device,
+// executor, scheduler, serving and fault event of this simulation is
+// published there. Subscribe sinks (e.g. an obs.Recorder for Chrome-trace
+// export) before running the simulation so the event numbering is
+// complete.
+func (s *Simulation) EventBus() *obs.Bus { return s.machine.Bus() }
 
 // RunFor advances virtual time by d, executing everything scheduled.
 func (s *Simulation) RunFor(d time.Duration) { s.eng.RunFor(d) }
@@ -294,7 +302,7 @@ func (j *Job) Throughput(window time.Duration) float64 {
 		return 0
 	}
 	if j.inner.Cfg.Kind == workload.KindServing && !j.inner.Cfg.Saturated {
-		return float64(j.inner.Serving.Served*j.inner.Cfg.Batch) / window.Seconds()
+		return float64(j.inner.ServingStats().Served*j.inner.Cfg.Batch) / window.Seconds()
 	}
 	return float64(j.inner.Iterations*j.inner.Cfg.Batch) / window.Seconds()
 }
@@ -329,7 +337,7 @@ type ServingStats struct {
 
 // ServingStats returns the job's request counters; all zero for training.
 func (j *Job) ServingStats() ServingStats {
-	s := j.inner.Serving
+	s := j.inner.ServingStats()
 	return ServingStats{
 		Offered: s.Offered,
 		Shed:    s.Shed,
@@ -340,14 +348,14 @@ func (j *Job) ServingStats() ServingStats {
 }
 
 // Shed returns how many requests admission control rejected.
-func (j *Job) Shed() int { return j.inner.Serving.Shed }
+func (j *Job) Shed() int { return j.inner.ServingStats().Shed }
 
 // SLOAttainment returns the percentage of served requests that met the
 // job's SLO; zero when nothing was served or no SLO is set.
-func (j *Job) SLOAttainment() float64 { return j.inner.Serving.AttainmentPct() }
+func (j *Job) SLOAttainment() float64 { return j.inner.ServingStats().AttainmentPct() }
 
 // MeanBatch returns the average micro-batch size across all launches.
-func (j *Job) MeanBatch() float64 { return j.inner.Serving.MeanBatch() }
+func (j *Job) MeanBatch() float64 { return j.inner.ServingStats().MeanBatch() }
 
 // Crashed reports whether the job died (e.g. OOM under a baseline).
 func (j *Job) Crashed() bool { return j.inner.Crashed() }
