@@ -12,8 +12,14 @@ SHELL := /bin/bash
 STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
-.PHONY: all build vet lint test race bench bench-json results examples \
-	trace install-lint-tools
+.PHONY: all build vet lint test race bench bench-json bench-trajectory \
+	bench-smoke results examples trace install-lint-tools
+
+# The committed engine-performance baseline. Bump the number when a PR
+# intentionally moves the trajectory; `make bench-trajectory` regenerates
+# it and `make bench-smoke` (the CI gate) compares a smoke-sized run's
+# machine-portable ratios against it.
+BENCH_BASELINE := BENCH_006.json
 
 all: build vet lint test race
 
@@ -62,6 +68,19 @@ bench:
 # tracking the performance trajectory across commits.
 bench-json:
 	go test -json -run='^$$' -bench=. -benchmem ./... | tee bench_output.json
+
+# Regenerate the committed engine-performance baseline: full-size micro
+# (wheel vs heap at depths 256/4k/64k) and macro (serial vs sharded
+# fleet) runs, normalized into $(BENCH_BASELINE). Run on a quiet machine.
+bench-trajectory:
+	go run ./cmd/swbench -exp engine -bench-label $(basename $(BENCH_BASELINE)) -bench-out $(BENCH_BASELINE)
+
+# CI regression gate: smoke-sized engine bench, compared against the
+# committed baseline on machine-portable speedup ratios (>25% regression
+# fails). Writes bench_smoke.json for the workflow artifact upload.
+bench-smoke:
+	go run ./cmd/swbench -exp engine -bench-smoke -bench-label smoke \
+		-bench-out bench_smoke.json -bench-check $(BENCH_BASELINE)
 
 # Chrome trace-event artifact from the canned two-ResNet50 co-run on a
 # V100 (the switchflow cell). Open trace.json in https://ui.perfetto.dev.

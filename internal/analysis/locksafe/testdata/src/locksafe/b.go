@@ -1,0 +1,76 @@
+// Epoch-barrier fan-out — the shard.Group idiom: engines advance on
+// worker goroutines with no shared mutable state, then barrier hooks run
+// serially on the caller's goroutine. The pattern is lock-free by
+// design; the analyzer must stay quiet on it, and must still flag a
+// barrier hook that reintroduces callback-under-lock.
+package locksafe
+
+import "sync"
+
+type engine struct{ now int64 }
+
+func (e *engine) runUntil(t int64) { e.now = t }
+
+type group struct {
+	engines  []*engine
+	now      int64
+	epoch    int64
+	barriers []func(now int64)
+}
+
+// advance is the shard.Group shape: parallel strides between barriers,
+// hooks after the wait. No locks anywhere — determinism comes from the
+// barrier, not mutual exclusion — so locksafe reports nothing.
+func (g *group) advance(t int64) {
+	for g.now < t {
+		next := g.now + g.epoch
+		if next > t {
+			next = t
+		}
+		var wg sync.WaitGroup
+		for _, e := range g.engines {
+			wg.Add(1)
+			go func(e *engine) {
+				defer wg.Done()
+				e.runUntil(next)
+			}(e)
+		}
+		wg.Wait()
+		g.now = next
+		for _, fn := range g.barriers {
+			fn(g.now)
+		}
+	}
+}
+
+// lockedGroup wraps the same shape in a mutex "for safety" — and then
+// runs the barrier hooks while holding it, the classic re-entrancy
+// deadlock: a hook that submits work (and so re-enters the group) hangs.
+type lockedGroup struct {
+	mu       sync.Mutex
+	now      int64
+	barriers []func(now int64)
+}
+
+func (g *lockedGroup) advance(t int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.now = t
+	for _, fn := range g.barriers {
+		fn(g.now) // want `calls a function value while holding g\.mu`
+	}
+}
+
+// snapshotThenFire is the corrected locked variant: hooks are copied
+// under the lock and invoked after release.
+func (g *lockedGroup) snapshotThenFire(t int64) {
+	g.mu.Lock()
+	g.now = t
+	hooks := make([]func(int64), len(g.barriers))
+	copy(hooks, g.barriers)
+	now := g.now
+	g.mu.Unlock()
+	for _, fn := range hooks {
+		fn(now)
+	}
+}

@@ -4,24 +4,41 @@
 // dedicated GPUs while multiple inference jobs may be packed on a single
 // GPU" — and lets SwitchFlow relax exactly that constraint, collocating
 // inference with training safely because preemption bounds the tails.
+//
+// Execution model: every node owns its own sim.Engine, and the fleet
+// advances through a shard.Group — machines run their event loops in
+// parallel within bounded epochs, and all cross-machine interaction
+// (placement of due submissions, queue retries after Stop) happens at
+// epoch barriers where every engine sits at the same virtual instant.
+// Per-node observation streams merge by (virtual time, node index, emit
+// seq) via Record/Events, so the fleet's trace is byte-identical whether
+// the epochs execute on one worker or many.
 package cluster
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"switchflow/internal/core"
 	"switchflow/internal/device"
 	"switchflow/internal/obs"
 	"switchflow/internal/sim"
+	"switchflow/internal/sim/shard"
 	"switchflow/internal/workload"
 )
+
+// DefaultEpoch is the barrier stride of the fleet: the latency of the
+// modeled cluster control plane. Submissions timed at multiples of it
+// place at exactly their submission instant, as a serial cluster would.
+const DefaultEpoch = 5 * time.Millisecond
 
 // Node is one machine of the fleet.
 type Node struct {
 	// Name labels the node.
 	Name string
 
+	eng     *sim.Engine
 	machine *device.Machine
 	mgr     *core.Manager
 	perGPU  []gpuLoad
@@ -37,6 +54,11 @@ func (n *Node) Machine() *device.Machine { return n.machine }
 
 // Manager exposes the node's SwitchFlow manager.
 func (n *Node) Manager() *core.Manager { return n.mgr }
+
+// Engine exposes the node's private event engine. Schedule onto it only
+// while the fleet is stopped at a barrier (between RunUntil calls, or
+// inside a shard barrier hook).
+func (n *Node) Engine() *sim.Engine { return n.eng }
 
 // Placement names where a job landed.
 type Placement struct {
@@ -70,44 +92,116 @@ func (h *JobHandle) QueueDelay() time.Duration {
 	return h.PlacedAt - h.SubmittedAt
 }
 
-// Cluster places jobs onto nodes.
+// Cluster places jobs onto nodes. Each node runs on its own engine; the
+// cluster advances them together via RunUntil/RunFor and takes every
+// cross-node decision at shard epoch barriers.
 type Cluster struct {
-	eng    *sim.Engine
-	policy Policy
-	nodes  []*Node
-	queue  []*JobHandle
-	placed []*JobHandle
+	policy    Policy
+	nodes     []*Node
+	group     *shard.Group
+	pending   []*JobHandle // submissions not yet due, in Submit order
+	queue     []*JobHandle // due but unplaceable, awaiting a Stop retry
+	placed    []*JobHandle
+	recorders []*obs.Recorder
 }
 
 // New builds a cluster of count identical nodes, each with the given GPU
-// classes and a Xeon host.
-func New(eng *sim.Engine, policy Policy, count int, gpus ...device.GPUClass) *Cluster {
-	c := &Cluster{eng: eng, policy: policy}
+// classes, a Xeon host, and its own private engine, advancing in
+// DefaultEpoch strides.
+func New(policy Policy, count int, gpus ...device.GPUClass) *Cluster {
+	c := &Cluster{policy: policy}
+	engines := make([]*sim.Engine, count)
 	for i := 0; i < count; i++ {
+		eng := sim.NewEngine()
+		engines[i] = eng
 		machine := device.NewMachine(eng, device.ClassXeonDual, gpus...)
 		c.nodes = append(c.nodes, &Node{
 			Name:    fmt.Sprintf("node%d", i),
+			eng:     eng,
 			machine: machine,
 			mgr:     core.NewManager(eng, machine, core.Options{}),
 			perGPU:  make([]gpuLoad, len(gpus)),
 		})
 	}
+	c.group = shard.New(DefaultEpoch, engines...)
+	c.group.AtBarrier(c.barrier)
 	return c
 }
 
 // Nodes returns the fleet.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
-// Submit schedules cfg for placement at the given virtual time (>= now).
-// The returned handle fills in as placement happens.
+// Now returns the fleet's barrier-aligned virtual time.
+func (c *Cluster) Now() time.Duration { return c.group.Now() }
+
+// RunUntil advances every node to t in epoch strides, the nodes in
+// parallel within each epoch and placements at the barriers.
+func (c *Cluster) RunUntil(t time.Duration) { c.group.RunUntil(t) }
+
+// RunFor is RunUntil relative to the current time.
+func (c *Cluster) RunFor(d time.Duration) { c.group.RunFor(d) }
+
+// Record attaches a recorder for the given kinds (all kinds when none are
+// given) to every node's bus. Call it before the fleet runs; Events
+// returns the merged streams.
+func (c *Cluster) Record(kinds ...obs.Kind) {
+	for _, n := range c.nodes {
+		r := obs.NewRecorder(0)
+		n.machine.Bus().Subscribe(r, kinds...)
+		c.recorders = append(c.recorders, r)
+	}
+}
+
+// Events returns every recorded event across the fleet in the
+// deterministic merged order: (virtual time, node index, emit seq).
+func (c *Cluster) Events() []obs.Event {
+	streams := make([][]obs.Event, len(c.recorders))
+	for i, r := range c.recorders {
+		streams[i] = r.Events()
+	}
+	return obs.Merge(streams...)
+}
+
+// Submit schedules cfg for placement at the given virtual time. A
+// submission at or before the current time places immediately (the fleet
+// is stopped at a barrier between runs); later ones place at the first
+// epoch barrier at or after their submission time, in (time, submission
+// order) sequence.
 func (c *Cluster) Submit(at time.Duration, cfg workload.Config) *JobHandle {
 	h := &JobHandle{Cfg: cfg, SubmittedAt: at}
-	c.eng.Schedule(at, func() {
+	if at <= c.Now() {
 		if !c.tryPlace(h) {
 			c.queue = append(c.queue, h)
 		}
-	})
+		return h
+	}
+	c.pending = append(c.pending, h)
 	return h
+}
+
+// barrier runs at every shard epoch boundary with all node engines
+// aligned at now: it releases due submissions in deterministic order.
+func (c *Cluster) barrier(now time.Duration) {
+	due := c.pending[:0:0]
+	kept := c.pending[:0]
+	for _, h := range c.pending {
+		if h.SubmittedAt <= now {
+			due = append(due, h)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	for i := len(kept); i < len(c.pending); i++ {
+		c.pending[i] = nil
+	}
+	c.pending = kept
+	// Stable: submissions at the same instant place in Submit order.
+	sort.SliceStable(due, func(i, j int) bool { return due[i].SubmittedAt < due[j].SubmittedAt })
+	for _, h := range due {
+		if !c.tryPlace(h) {
+			c.queue = append(c.queue, h)
+		}
+	}
 }
 
 // Queued returns jobs still waiting for placement.
@@ -166,7 +260,7 @@ func (c *Cluster) tryPlace(h *JobHandle) bool {
 	h.Job = job
 	h.Placed = true
 	h.Where = Placement{Node: node.Name, GPU: gpu}
-	h.PlacedAt = c.eng.Now()
+	h.PlacedAt = c.Now()
 	node.machine.Bus().Emit(obs.Event{
 		Kind:   obs.KindPlace,
 		Ctx:    job.Ctx,

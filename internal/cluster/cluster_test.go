@@ -6,7 +6,6 @@ import (
 
 	"switchflow/internal/device"
 	"switchflow/internal/models"
-	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
 
@@ -35,11 +34,10 @@ func serveCfg(t *testing.T, name, model string) workload.Config {
 }
 
 func TestFirstFitPlacesSequentially(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, FirstFit{}, 2, device.ClassV100, device.ClassV100)
+	c := New(FirstFit{}, 2, device.ClassV100, device.ClassV100)
 	h1 := c.Submit(0, trainCfg(t, "a", "ResNet50"))
 	h2 := c.Submit(0, trainCfg(t, "b", "ResNet50"))
-	eng.RunUntil(time.Second)
+	c.RunUntil(time.Second)
 	if !h1.Placed || !h2.Placed {
 		t.Fatalf("placements: %v %v", h1.Placed, h2.Placed)
 	}
@@ -53,13 +51,12 @@ func TestFirstFitPlacesSequentially(t *testing.T) {
 }
 
 func TestLeastLoadedSpreads(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, LeastLoaded{}, 2, device.ClassV100, device.ClassV100)
+	c := New(LeastLoaded{}, 2, device.ClassV100, device.ClassV100)
 	var handles []*JobHandle
 	for i := 0; i < 4; i++ {
 		handles = append(handles, c.Submit(0, trainCfg(t, "t", "ResNet50")))
 	}
-	eng.RunUntil(time.Second)
+	c.RunUntil(time.Second)
 	seen := map[string]int{}
 	for _, h := range handles {
 		if !h.Placed {
@@ -73,12 +70,11 @@ func TestLeastLoadedSpreads(t *testing.T) {
 }
 
 func TestDedicateQueuesTrainingWhenFull(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, Dedicate{}, 1, device.ClassV100, device.ClassV100)
+	c := New(Dedicate{}, 1, device.ClassV100, device.ClassV100)
 	a := c.Submit(0, trainCfg(t, "a", "ResNet50"))
 	b := c.Submit(0, trainCfg(t, "b", "ResNet50"))
 	queued := c.Submit(0, trainCfg(t, "c", "ResNet50"))
-	eng.RunUntil(time.Second)
+	c.RunUntil(time.Second)
 	if !a.Placed || !b.Placed {
 		t.Fatal("first two trainings not placed")
 	}
@@ -90,7 +86,7 @@ func TestDedicateQueuesTrainingWhenFull(t *testing.T) {
 	}
 	// Stopping a training frees its GPU slot for the queued one.
 	c.Stop(a)
-	eng.RunUntil(2 * time.Second)
+	c.RunUntil(2 * time.Second)
 	if !queued.Placed {
 		t.Fatal("queued training not placed after a slot freed")
 	}
@@ -100,12 +96,11 @@ func TestDedicateQueuesTrainingWhenFull(t *testing.T) {
 }
 
 func TestDedicateNeverMixesInferenceWithTraining(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, Dedicate{}, 1, device.ClassV100, device.ClassV100)
+	c := New(Dedicate{}, 1, device.ClassV100, device.ClassV100)
 	train := c.Submit(0, trainCfg(t, "t", "ResNet50"))
 	s1 := c.Submit(0, serveCfg(t, "s1", "MobileNetV2"))
 	s2 := c.Submit(0, serveCfg(t, "s2", "ResNet50"))
-	eng.RunUntil(time.Second)
+	c.RunUntil(time.Second)
 	if !train.Placed || !s1.Placed || !s2.Placed {
 		t.Fatal("placements incomplete")
 	}
@@ -120,12 +115,11 @@ func TestDedicateNeverMixesInferenceWithTraining(t *testing.T) {
 }
 
 func TestCollocatePrefersTrainingGPUs(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, Collocate{}, 1, device.ClassV100, device.ClassV100)
+	c := New(Collocate{}, 1, device.ClassV100, device.ClassV100)
 	train := c.Submit(0, trainCfg(t, "t", "VGG16"))
-	eng.RunUntil(500 * time.Millisecond)
+	c.RunUntil(500 * time.Millisecond)
 	s := c.Submit(500*time.Millisecond, serveCfg(t, "s", "ResNet50"))
-	eng.RunUntil(10 * time.Second)
+	c.RunUntil(10 * time.Second)
 	if !train.Placed || !s.Placed {
 		t.Fatal("placements incomplete")
 	}
@@ -146,11 +140,10 @@ func TestCollocatePrefersTrainingGPUs(t *testing.T) {
 }
 
 func TestClusterJobsRunIndependentlyPerNode(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, LeastLoaded{}, 2, device.ClassV100)
+	c := New(LeastLoaded{}, 2, device.ClassV100)
 	a := c.Submit(0, trainCfg(t, "a", "ResNet50"))
 	b := c.Submit(0, trainCfg(t, "b", "ResNet50"))
-	eng.RunUntil(5 * time.Second)
+	c.RunUntil(5 * time.Second)
 	if a.Where.Node == b.Where.Node {
 		t.Fatalf("least-loaded stacked both on %s", a.Where.Node)
 	}
@@ -165,12 +158,11 @@ func TestClusterJobsRunIndependentlyPerNode(t *testing.T) {
 }
 
 func TestPlacementSkipsFailedGPUs(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, FirstFit{}, 2, device.ClassV100, device.ClassV100)
+	c := New(FirstFit{}, 2, device.ClassV100, device.ClassV100)
 	// Take down node0's first GPU before any placement.
 	c.Nodes()[0].Machine().GPU(0).Fail()
 	h := c.Submit(0, trainCfg(t, "a", "ResNet50"))
-	eng.RunUntil(time.Second)
+	c.RunUntil(time.Second)
 	if !h.Placed {
 		t.Fatal("job not placed despite three healthy GPUs")
 	}
@@ -183,11 +175,10 @@ func TestPlacementSkipsFailedGPUs(t *testing.T) {
 }
 
 func TestAllGPUsFailedQueuesJobs(t *testing.T) {
-	eng := sim.NewEngine()
-	c := New(eng, LeastLoaded{}, 1, device.ClassV100)
+	c := New(LeastLoaded{}, 1, device.ClassV100)
 	c.Nodes()[0].Machine().GPU(0).Fail()
 	h := c.Submit(0, serveCfg(t, "s", "ResNet50"))
-	eng.RunUntil(time.Second)
+	c.RunUntil(time.Second)
 	if h.Placed {
 		t.Fatalf("placed on a dead fleet: %v", h.Where)
 	}

@@ -6,7 +6,6 @@ import (
 	"switchflow/internal/cluster"
 	"switchflow/internal/device"
 	"switchflow/internal/harness"
-	"switchflow/internal/sim"
 	"switchflow/internal/workload"
 )
 
@@ -36,9 +35,12 @@ func Fleet(window time.Duration) []FleetRow {
 	})
 }
 
+// fleetOne runs one policy's cell. The cluster shards the two nodes onto
+// their own engines and advances them in parallel epochs; submission
+// times are multiples of the cluster epoch, so placements land at exactly
+// the instants a serial single-engine run would have produced.
 func fleetOne(policy cluster.Policy, window time.Duration) FleetRow {
-	eng := sim.NewEngine()
-	c := cluster.New(eng, policy, 2, device.ClassV100, device.ClassV100)
+	c := cluster.New(policy, 2, device.ClassV100, device.ClassV100)
 
 	trainModels := []string{"ResNet50", "VGG16", "InceptionV3", "DenseNet121"}
 	var trainings []*cluster.JobHandle
@@ -64,14 +66,14 @@ func fleetOne(policy cluster.Policy, window time.Duration) FleetRow {
 	}
 
 	const settle = 60 * time.Second
-	eng.RunUntil(settle)
+	c.RunUntil(settle)
 	trainStart := make([]int, len(trainings))
 	for i, h := range trainings {
 		if h.Placed {
 			trainStart[i] = h.Job.Iterations
 		}
 	}
-	eng.RunUntil(settle + window)
+	c.RunUntil(settle + window)
 
 	row := FleetRow{Policy: policy.Name()}
 	var delays time.Duration

@@ -272,3 +272,37 @@ func (r *Recorder) Len() int { return len(r.events) }
 
 // Dropped returns how many events were evicted by the cap.
 func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Merge combines per-machine event streams into one deterministic total
+// order. Each input stream must already be in its own emission order (the
+// order a Recorder returns): nondecreasing Time with monotonically
+// increasing Seq. The merged order is by (Time, stream index, Seq) — when
+// two machines emit at the same virtual instant, the lower-indexed machine
+// (the one a serial loop would have advanced first) comes first, and within
+// one machine the bus sequence numbers keep their order. This is the merge
+// key the sharded cluster relies on for byte-identical serial-vs-parallel
+// traces.
+func Merge(streams ...[]Event) []Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Event, 0, total)
+	heads := make([]int, len(streams))
+	for len(out) < total {
+		best := -1
+		for i, s := range streams {
+			if heads[i] >= len(s) {
+				continue
+			}
+			// Strict < on Time: the lower stream index wins ties by being
+			// scanned first.
+			if best < 0 || s[heads[i]].Time < streams[best][heads[best]].Time {
+				best = i
+			}
+		}
+		out = append(out, streams[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

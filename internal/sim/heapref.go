@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// HeapEngine is the PR-1 event queue — an inlined 4-ary min-heap with a
+// free list — retained verbatim as a reference implementation. It is not
+// used by any production path: the differential property and fuzz tests
+// drive it and the timing-wheel Engine with identical schedule/cancel/step
+// scripts and assert identical firing sequences, and the swbench engine
+// benchmark suite measures the wheel's speedup against it. Its semantics
+// (strict (at, seq) firing order, stale-handle-safe cancellation, zero
+// allocation at steady state) define the contract the wheel must match.
+type HeapEngine struct {
+	now   time.Duration
+	seq   uint64
+	heap  []*heapEvent // 4-ary min-heap ordered by (at, seq)
+	free  []*heapEvent // recycled event structs
+	fired uint64
+}
+
+// HeapEvent is a handle to a scheduled HeapEngine callback, mirroring
+// Event.
+type HeapEvent struct {
+	ev  *heapEvent
+	seq uint64
+	at  time.Duration
+}
+
+// At reports the virtual time the event is (or was) scheduled for.
+func (h HeapEvent) At() time.Duration { return h.at }
+
+// Cancel prevents the event from firing; stale or zero handles are no-ops.
+func (h HeapEvent) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.seq != h.seq {
+		return
+	}
+	ev.eng.remove(ev)
+}
+
+// Scheduled reports whether the event is still pending.
+func (h HeapEvent) Scheduled() bool {
+	return h.ev != nil && h.ev.seq == h.seq
+}
+
+// heapEvent is the engine-owned state behind a HeapEvent handle.
+type heapEvent struct {
+	eng   *HeapEngine
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int32 // position in the heap; -1 while on the free list
+}
+
+// NewHeapEngine returns an empty reference engine at virtual time zero.
+func NewHeapEngine() *HeapEngine {
+	return &HeapEngine{}
+}
+
+// Now returns the current virtual time.
+func (e *HeapEngine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *HeapEngine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of live events still scheduled.
+func (e *HeapEngine) Pending() int { return len(e.heap) }
+
+// Schedule registers fn to run at absolute virtual time at.
+func (e *HeapEngine) Schedule(at time.Duration, fn func()) HeapEvent {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	var ev *heapEvent
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &heapEvent{eng: e}
+	}
+	e.seq++
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.push(ev)
+	return HeapEvent{ev: ev, seq: ev.seq, at: at}
+}
+
+// After registers fn to run d from the current virtual time.
+func (e *HeapEngine) After(d time.Duration, fn func()) HeapEvent {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *HeapEngine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.popMin()
+	e.now = ev.at
+	fn := ev.fn
+	e.recycle(ev)
+	e.fired++
+	fn()
+	return true
+}
+
+// Run fires events until the queue drains.
+func (e *HeapEngine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+func (e *HeapEngine) RunUntil(t time.Duration) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor is RunUntil relative to the current time.
+func (e *HeapEngine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + d)
+}
+
+func heapLess(a, b *heapEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *HeapEngine) push(ev *heapEvent) {
+	ev.index = int32(len(e.heap))
+	e.heap = append(e.heap, ev)
+	e.siftUp(int(ev.index))
+}
+
+func (e *HeapEngine) popMin() *heapEvent {
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.heap[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	return ev
+}
+
+func (e *HeapEngine) remove(ev *heapEvent) {
+	i := int(ev.index)
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if i != n {
+		e.heap[i] = last
+		last.index = int32(i)
+		e.siftDown(i)
+		if int(last.index) == i {
+			e.siftUp(i)
+		}
+	}
+	e.recycle(ev)
+}
+
+func (e *HeapEngine) recycle(ev *heapEvent) {
+	ev.fn = nil
+	ev.seq = 0
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+func (e *HeapEngine) siftUp(i int) {
+	ev := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !heapLess(ev, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.heap[i].index = int32(i)
+		i = p
+	}
+	e.heap[i] = ev
+	ev.index = int32(i)
+}
+
+func (e *HeapEngine) siftDown(i int) {
+	ev := e.heap[i]
+	n := len(e.heap)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for k := c + 1; k < end; k++ {
+			if heapLess(e.heap[k], e.heap[m]) {
+				m = k
+			}
+		}
+		if !heapLess(e.heap[m], ev) {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		e.heap[i].index = int32(i)
+		i = m
+	}
+	e.heap[i] = ev
+	ev.index = int32(i)
+}

@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"switchflow/internal/harness"
+	"switchflow/internal/obs"
+	"switchflow/internal/sim"
+)
+
+// buildFleet wires n machines, each with its own engine, bus, and
+// recorder, running a self-perpetuating workload whose timing differs per
+// machine, plus a barrier hook that does a cross-machine interaction (the
+// lowest-time machine schedules onto its right neighbour).
+func buildFleet(n int, epoch time.Duration) (*Group, []*obs.Recorder) {
+	engines := make([]*sim.Engine, n)
+	recs := make([]*obs.Recorder, n)
+	buses := make([]*obs.Bus, n)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+		buses[i] = obs.NewBus(engines[i])
+		recs[i] = obs.NewRecorder(0)
+		buses[i].Subscribe(recs[i])
+	}
+	for i := range engines {
+		i := i
+		period := time.Duration(i+1) * 7 * time.Microsecond
+		var tick func()
+		tick = func() {
+			buses[i].Emit(obs.Event{Kind: obs.KindOpSched, Ctx: i, Name: "tick"})
+			engines[i].After(period, tick)
+		}
+		engines[i].After(period, tick)
+	}
+	g := New(epoch, engines...)
+	g.AtBarrier(func(now time.Duration) {
+		// Cross-machine interaction at the barrier: machine 0 pokes each
+		// neighbour, which emits on the neighbour's own bus.
+		for j := 1; j < n; j++ {
+			j := j
+			engines[j].Schedule(now, func() {
+				buses[j].Emit(obs.Event{Kind: obs.KindPlace, Ctx: j, Name: "barrier-poke"})
+			})
+		}
+	})
+	return g, recs
+}
+
+func runFleet(n int, epoch, horizon time.Duration) []obs.Event {
+	g, recs := buildFleet(n, epoch)
+	g.RunUntil(horizon)
+	streams := make([][]obs.Event, len(recs))
+	for i, r := range recs {
+		streams[i] = r.Events()
+	}
+	return obs.Merge(streams...)
+}
+
+// TestSerialParallelIdentical is the epoch-barrier merge proof: the merged
+// trace of a sharded fleet must be identical whether the epochs execute on
+// one worker or many.
+func TestSerialParallelIdentical(t *testing.T) {
+	const n, epoch, horizon = 5, 50 * time.Microsecond, 3 * time.Millisecond
+	prev := harness.SetParallelism(1)
+	serial := runFleet(n, epoch, horizon)
+	harness.SetParallelism(8)
+	parallel := runFleet(n, epoch, horizon)
+	harness.SetParallelism(prev)
+	if len(serial) == 0 {
+		t.Fatal("fleet produced no events")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel merged traces differ: %d vs %d events", len(serial), len(parallel))
+	}
+}
+
+// TestMergeOrdersByTimeThenMachineThenSeq pins the merge key down exactly.
+func TestMergeOrdersByTimeThenMachineThenSeq(t *testing.T) {
+	a := []obs.Event{{Seq: 1, Time: 10}, {Seq: 2, Time: 30}, {Seq: 3, Time: 30}}
+	b := []obs.Event{{Seq: 1, Time: 10}, {Seq: 2, Time: 20}}
+	got := obs.Merge(a, b)
+	want := []obs.Event{
+		{Seq: 1, Time: 10}, // machine 0 wins the t=10 tie
+		{Seq: 1, Time: 10},
+		{Seq: 2, Time: 20},
+		{Seq: 2, Time: 30}, // seq order within machine 0 preserved
+		{Seq: 3, Time: 30},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merge order = %+v, want %+v", got, want)
+	}
+	if got[0] != a[0] || got[1] != b[0] {
+		t.Fatal("t=10 tie not broken by stream index")
+	}
+}
+
+func TestBarriersFireAtEpochBoundariesAndHorizon(t *testing.T) {
+	engines := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	g := New(10*time.Microsecond, engines...)
+	var at []time.Duration
+	g.AtBarrier(func(now time.Duration) {
+		at = append(at, now)
+		for _, e := range engines {
+			if e.Now() != now {
+				t.Fatalf("engine at %v inside barrier at %v", e.Now(), now)
+			}
+		}
+	})
+	g.RunUntil(25 * time.Microsecond)
+	want := []time.Duration{10 * time.Microsecond, 20 * time.Microsecond, 25 * time.Microsecond}
+	if !reflect.DeepEqual(at, want) {
+		t.Fatalf("barrier times %v, want %v", at, want)
+	}
+	// Re-running to the same horizon is a no-op: no duplicate barriers.
+	g.RunUntil(25 * time.Microsecond)
+	if len(at) != len(want) {
+		t.Fatalf("RunUntil to current time re-fired barriers: %v", at)
+	}
+	g.RunFor(5 * time.Microsecond)
+	if g.Now() != 30*time.Microsecond {
+		t.Fatalf("Now() = %v after RunFor, want 30µs", g.Now())
+	}
+}
+
+func TestBarrierMaySchedulePastWork(t *testing.T) {
+	eng := sim.NewEngine()
+	g := New(time.Microsecond, eng)
+	fired := make([]time.Duration, 0, 4)
+	g.AtBarrier(func(now time.Duration) {
+		if now == 2*time.Microsecond {
+			// Scheduling exactly at the barrier instant must fire inside
+			// the next epoch, not be lost.
+			eng.Schedule(now, func() { fired = append(fired, eng.Now()) })
+		}
+	})
+	g.RunUntil(4 * time.Microsecond)
+	if len(fired) != 1 || fired[0] != 2*time.Microsecond {
+		t.Fatalf("barrier-scheduled event fired at %v, want [2µs]", fired)
+	}
+}
+
+func TestNewValidatesInputs(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero epoch", func() { New(0, sim.NewEngine()) })
+	mustPanic("no engines", func() { New(time.Microsecond) })
+	mustPanic("misaligned engines", func() {
+		a, b := sim.NewEngine(), sim.NewEngine()
+		b.RunUntil(5)
+		New(time.Microsecond, a, b)
+	})
+}
