@@ -1,0 +1,170 @@
+package switchflow_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite api.golden from the current source")
+
+// TestPublicAPISurface pins the exported surface of the root package to
+// api.golden. Deleting or renaming an exported identifier is a breaking
+// change and must show up in review as a diff to the golden file;
+// regenerate it deliberately with:
+//
+//	go test -run TestPublicAPISurface -update .
+func TestPublicAPISurface(t *testing.T) {
+	got := strings.Join(exportedSurface(t, "."), "\n") + "\n"
+
+	if *updateGolden {
+		if err := os.WriteFile("api.golden", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	want, err := os.ReadFile("api.golden")
+	if err != nil {
+		t.Fatalf("read api.golden: %v (regenerate with go test -run TestPublicAPISurface -update .)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exported API surface differs from api.golden.\n"+
+			"If the change is intentional, regenerate with:\n"+
+			"\tgo test -run TestPublicAPISurface -update .\n\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// exportedSurface parses every non-test .go file in dir and returns one
+// sorted line per exported identifier: package functions, types, methods,
+// struct fields, interface methods, consts, and vars.
+func exportedSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					add("func %s", d.Name.Name)
+					continue
+				}
+				recv := receiverName(d.Recv.List[0].Type)
+				if !ast.IsExported(recv) {
+					continue
+				}
+				add("method (%s) %s", recv, d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						add("type %s", s.Name.Name)
+						describeType(s.Name.Name, s.Type, add)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								add("%s %s", kind, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// describeType emits the exported members of struct and interface types.
+func describeType(name string, expr ast.Expr, add func(string, ...any)) {
+	switch tt := expr.(type) {
+	case *ast.StructType:
+		for _, field := range tt.Fields.List {
+			for _, fn := range field.Names {
+				if fn.IsExported() {
+					add("field %s.%s", name, fn.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range tt.Methods.List {
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					add("interface-method %s.%s", name, mn.Name)
+				}
+			}
+		}
+	}
+}
+
+func receiverName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// surfaceDiff renders the added/removed lines between two surfaces.
+func surfaceDiff(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -155,53 +155,238 @@ func runCollocation(t *testing.T, build func(*switchflow.Simulation) switchflow.
 	return out(serve), out(train)
 }
 
-// The deprecated constructors are thin wrappers over NewScheduler; the
-// same scenario must produce identical results through either path.
-func TestDeprecatedConstructorsMatchNewScheduler(t *testing.T) {
-	old := map[switchflow.Policy]func(*switchflow.Simulation) switchflow.Scheduler{
-		switchflow.PolicySwitchFlow: func(s *switchflow.Simulation) switchflow.Scheduler { return s.SwitchFlow() },
-		switchflow.PolicyThreadedTF: func(s *switchflow.Simulation) switchflow.Scheduler { return s.ThreadedTF() },
-		switchflow.PolicyTimeSlice:  func(s *switchflow.Simulation) switchflow.Scheduler { return s.TimeSlice() },
-		switchflow.PolicyMPS:        func(s *switchflow.Simulation) switchflow.Scheduler { return s.MPS() },
+// TestPlacementValidation covers the error paths of the redesigned
+// placement API: incoherent legacy/new mixes, vnode misuse, fallback
+// overlap, and CPU-only training.
+func TestPlacementValidation(t *testing.T) {
+	trainSpec := switchflow.JobSpec{Name: "t", Model: "ResNet50", Batch: 8, Train: true}
+	serveSpec := switchflow.JobSpec{Name: "s", Model: "ResNet50", Batch: 1, ClosedLoop: true}
+
+	good := []switchflow.JobSpec{
+		func() switchflow.JobSpec {
+			s := trainSpec
+			s.Placement = switchflow.Placement{Device: 1, Fallbacks: []int{0}, AllowCPU: true}
+			return s
+		}(),
+		func() switchflow.JobSpec {
+			s := trainSpec
+			s.Placement = switchflow.Placement{VNodes: []int{0, 1}}
+			return s
+		}(),
+		func() switchflow.JobSpec {
+			s := trainSpec
+			s.Placement = switchflow.Placement{Device: 1, VNodes: []int{1, 0}}
+			return s
+		}(),
+		func() switchflow.JobSpec {
+			s := serveSpec
+			s.Placement = switchflow.Placement{Device: switchflow.CPUDevice}
+			return s
+		}(),
 	}
-	for _, policy := range allPolicies {
-		policy := policy
-		t.Run(policy.String(), func(t *testing.T) {
-			serveOld, trainOld := runCollocation(t, old[policy])
-			serveNew, trainNew := runCollocation(t, func(s *switchflow.Simulation) switchflow.Scheduler {
-				sched, err := s.NewScheduler(policy)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return sched
-			})
-			if serveOld != serveNew || trainOld != trainNew {
-				t.Errorf("outcomes differ:\nold: serve=%+v train=%+v\nnew: serve=%+v train=%+v",
-					serveOld, trainOld, serveNew, trainNew)
+	for i, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("good spec %d rejected: %v", i, err)
+		}
+	}
+
+	bad := []struct {
+		name   string
+		mutate func(*switchflow.JobSpec)
+	}{
+		{"legacy and placement mixed", func(s *switchflow.JobSpec) {
+			s.GPU = 1
+			s.Placement = switchflow.Placement{Device: 1}
+		}},
+		{"legacy fallback and placement mixed", func(s *switchflow.JobSpec) {
+			s.FallbackGPUs = []int{1}
+			s.Placement = switchflow.Placement{Device: 0, Fallbacks: []int{1}}
+		}},
+		{"device below CPUDevice", func(s *switchflow.JobSpec) {
+			s.Placement = switchflow.Placement{Device: -2}
+		}},
+		{"cpu-only training", func(s *switchflow.JobSpec) {
+			s.Placement = switchflow.Placement{Device: switchflow.CPUDevice}
+		}},
+		{"negative fallback", func(s *switchflow.JobSpec) {
+			s.Placement = switchflow.Placement{Device: 0, Fallbacks: []int{-3}}
+		}},
+		{"fallback overlaps primary", func(s *switchflow.JobSpec) {
+			s.Placement = switchflow.Placement{Device: 1, Fallbacks: []int{1}}
+		}},
+		{"duplicate fallback", func(s *switchflow.JobSpec) {
+			s.Placement = switchflow.Placement{Device: 0, Fallbacks: []int{1, 1}}
+		}},
+		{"negative vnode index", func(s *switchflow.JobSpec) {
+			s.Placement = switchflow.Placement{VNodes: []int{0, -1}}
+		}},
+		{"device disagrees with vnodes", func(s *switchflow.JobSpec) {
+			s.Placement = switchflow.Placement{Device: 1, VNodes: []int{0, 1}}
+		}},
+		{"more vnodes than batch samples", func(s *switchflow.JobSpec) {
+			s.Batch = 2
+			s.Placement = switchflow.Placement{VNodes: []int{0, 1, 0}}
+		}},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := trainSpec
+			tt.mutate(&spec)
+			err := spec.Validate()
+			if err == nil {
+				t.Fatalf("spec %+v accepted", spec)
+			}
+			if !errors.Is(err, switchflow.ErrInvalidJobSpec) {
+				t.Fatalf("error %v does not wrap ErrInvalidJobSpec", err)
 			}
 		})
 	}
+
+	// Vnodes on a serving job are rejected regardless of the rest.
+	s := serveSpec
+	s.Placement = switchflow.Placement{VNodes: []int{0}}
+	if err := s.Validate(); !errors.Is(err, switchflow.ErrInvalidJobSpec) {
+		t.Errorf("serving job with vnodes: %v, want ErrInvalidJobSpec", err)
+	}
 }
 
-// TestDeprecatedSwitchFlowOptionsMatchFunctionalOptions pins the legacy
-// SchedulerOptions struct to its functional-option translation.
-func TestDeprecatedSwitchFlowOptionsMatchFunctionalOptions(t *testing.T) {
-	legacy := switchflow.SchedulerOptions{TempPoolThreads: 2, SyncStateTransfer: true}
-	serveOld, trainOld := runCollocation(t, func(s *switchflow.Simulation) switchflow.Scheduler {
-		return s.SwitchFlow(legacy)
-	})
-	serveNew, trainNew := runCollocation(t, func(s *switchflow.Simulation) switchflow.Scheduler {
-		sched, err := s.NewScheduler(switchflow.PolicySwitchFlow,
-			switchflow.WithTempPoolThreads(2), switchflow.WithSyncStateTransfer())
+// The deprecated GPU/FallbackGPUs/FallbackCPU shims normalize into
+// Placement; the same scenario must produce identical results through
+// either spelling.
+func TestLegacyPlacementShimMatchesPlacement(t *testing.T) {
+	withSpec := func(mutate func(*switchflow.JobSpec)) func(*switchflow.Simulation) switchflow.Scheduler {
+		return func(s *switchflow.Simulation) switchflow.Scheduler {
+			sched, err := s.NewScheduler(switchflow.PolicySwitchFlow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return specMutatingScheduler{Scheduler: sched, mutate: mutate}
+		}
+	}
+	serveOld, trainOld := runCollocation(t, withSpec(func(s *switchflow.JobSpec) {
+		s.GPU = 1
+		s.FallbackGPUs = []int{0}
+		s.FallbackCPU = true
+	}))
+	serveNew, trainNew := runCollocation(t, withSpec(func(s *switchflow.JobSpec) {
+		s.Placement = switchflow.Placement{Device: 1, Fallbacks: []int{0}, AllowCPU: true}
+	}))
+	if serveOld != serveNew || trainOld != trainNew {
+		t.Errorf("outcomes differ:\nlegacy: serve=%+v train=%+v\nplacement: serve=%+v train=%+v",
+			serveOld, trainOld, serveNew, trainNew)
+	}
+}
+
+// specMutatingScheduler rewrites every spec before admission so one
+// scenario can run under two placement spellings.
+type specMutatingScheduler struct {
+	switchflow.Scheduler
+	mutate func(*switchflow.JobSpec)
+}
+
+func (s specMutatingScheduler) AddJob(spec switchflow.JobSpec) (*switchflow.Job, error) {
+	s.mutate(&spec)
+	return s.Scheduler.AddJob(spec)
+}
+
+// TestElasticOpsRequireSupport pins the ErrNotElastic contract: baselines
+// reject elastic specs and operations; SwitchFlow rejects elastic ops on
+// legacy jobs.
+func TestElasticOpsRequireSupport(t *testing.T) {
+	elastic := switchflow.JobSpec{
+		Name: "e", Model: "ResNet50", Batch: 8, Train: true,
+		Placement: switchflow.Placement{VNodes: []int{0, 1}},
+	}
+	for _, policy := range []switchflow.Policy{
+		switchflow.PolicyThreadedTF,
+		switchflow.PolicyTimeSlice,
+		switchflow.PolicyMPS,
+	} {
+		sim := switchflow.NewSimulation(switchflow.V100Server())
+		sched, err := sim.NewScheduler(policy)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return sched
-	})
-	if serveOld != serveNew || trainOld != trainNew {
-		t.Errorf("outcomes differ:\nold: serve=%+v train=%+v\nnew: serve=%+v train=%+v",
-			serveOld, trainOld, serveNew, trainNew)
+		if _, err := sched.AddJob(elastic); !errors.Is(err, switchflow.ErrNotElastic) {
+			t.Errorf("%s: elastic spec: %v, want ErrNotElastic", policy, err)
+		}
+		if err := sched.Drain(0); !errors.Is(err, switchflow.ErrNotElastic) {
+			t.Errorf("%s: Drain: %v, want ErrNotElastic", policy, err)
+		}
 	}
+
+	sim := switchflow.NewSimulation(switchflow.V100Server())
+	sched, err := sim.NewScheduler(switchflow.PolicySwitchFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := sched.AddJob(switchflow.JobSpec{
+		Name: "l", Model: "ResNet50", Batch: 8, Train: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Grow(legacy, 2); !errors.Is(err, switchflow.ErrNotElastic) {
+		t.Errorf("Grow on legacy job: %v, want ErrNotElastic", err)
+	}
+	if err := sched.Rebind(legacy, 0, 1); !errors.Is(err, switchflow.ErrNotElastic) {
+		t.Errorf("Rebind on legacy job: %v, want ErrNotElastic", err)
+	}
+}
+
+// TestElasticGrowDrainPublicAPI drives the elastic lifecycle end to end
+// through the public surface: admit with vnodes, grow, drain the primary
+// GPU, and verify zero restarts with the binding moved off it.
+func TestElasticGrowDrainPublicAPI(t *testing.T) {
+	sim := switchflow.NewSimulation(switchflow.TwoGPUServer())
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := sched.AddJob(switchflow.JobSpec{
+		Name: "train", Model: "ResNet50", Batch: 32, Train: true, Priority: 1,
+		Placement: switchflow.Placement{VNodes: []int{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job.Elastic() || job.VNodes() != 1 {
+		t.Fatalf("Elastic()=%v VNodes()=%d, want elastic single vnode", job.Elastic(), job.VNodes())
+	}
+	sim.RunFor(3 * time.Second)
+	if err := sched.Grow(job, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(5 * time.Second)
+	if job.VNodes() != 2 {
+		t.Fatalf("VNodes() = %d after grow, want 2", job.VNodes())
+	}
+	atDrain := job.Iterations()
+	if err := sched.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(8 * time.Second)
+	if job.Crashed() {
+		t.Fatalf("job crashed: %v", job.Err())
+	}
+	if job.Restarts() != 0 {
+		t.Fatalf("Restarts() = %d after drain, want 0 (rebind is restart-free)", job.Restarts())
+	}
+	if job.Iterations() <= atDrain {
+		t.Fatal("no progress after drain")
+	}
+	if b := job.Binding(); b == "" || containsGPU0(b) {
+		t.Fatalf("binding %q still on drained gpu:0", b)
+	}
+}
+
+func containsGPU0(binding string) bool {
+	for i := 0; i+5 <= len(binding); i++ {
+		if binding[i:i+5] == "gpu:0" {
+			return true
+		}
+	}
+	return false
 }
 
 // TestFaultRecoveryAcceptance is the ISSUE's headline scenario: under an

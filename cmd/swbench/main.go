@@ -8,7 +8,7 @@
 //	swbench -exp f8 -iters 200
 //
 // Experiments: f2, f3, f6, f7, f8, f9, f10, t1, preempt, ablation, chaos,
-// serving, all.
+// elastic, serving, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,serving,eager,fleet,ablation,chaos,engine,all")
+		exp        = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,serving,eager,fleet,ablation,chaos,elastic,engine,all")
 		iters      = flag.Int("iters", 200, "iterations per measurement (figures 3, 8, 9, 10)")
 		requests   = flag.Int("requests", 200, "inference requests per cell (figure 6, preempt, ablation)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for experiment sweeps (1 = serial)")
@@ -106,9 +106,10 @@ func run(exp string, iters, requests int) error {
 		"eager":    func() { eager() },
 		"fleet":    func() { fleet() },
 		"chaos":    func() { chaos() },
+		"elastic":  func() { elastic() },
 	}
 	if exp == "all" {
-		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "serving", "eager", "fleet", "ablation", "chaos"} {
+		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "serving", "eager", "fleet", "ablation", "chaos", "elastic"} {
 			timed(id, all[id])
 		}
 		return nil
@@ -305,6 +306,21 @@ func chaos() {
 		fmt.Printf("%-12s %5d %7d %8d %10.1f %7v %-8s %8d %6d %5d %5d %6d\n",
 			r.Scheduler, r.Seed, r.Injected, r.Served, r.ServeP95MS, r.ServeAlive, dev,
 			r.TrainIters, r.JobsLost, r.Migrations, r.Restarts, r.IterationsLost)
+	}
+}
+
+func elastic() {
+	header("Elastic: virtual-node recovery vs checkpoint/restart (60s; gpu:0 drained or lost at 30s)")
+	fmt.Printf("%-10s %-12s %8s %7s %6s %6s %6s %6s  %-20s\n",
+		"mode", "scheduler", "train-it", "alive", "rest", "roll", "grows", "rebind", "binding")
+	for _, r := range experiments.Elastic() {
+		binding := r.Binding
+		if binding == "" {
+			binding = "-"
+		}
+		fmt.Printf("%-10s %-12s %8d %7v %6d %6d %6d %6d  %-20s\n",
+			r.Mode, r.Scheduler, r.Iterations, r.Alive, r.Restarts, r.IterationsLost,
+			r.Grows, r.Rebinds, binding)
 	}
 }
 

@@ -17,6 +17,14 @@
 //
 //	swrun -jobs serve:ResNet50:1:2 -serve-every 10ms -poisson \
 //	      -slo 200ms -max-batch 8 -batch-wait 5ms -for 30s
+//
+// The elastic flags exercise virtual-node placement (SwitchFlow only):
+// -vnodes splits every training job across the listed GPUs, -resize
+// grows/shrinks a job's virtual-node count mid-run, and -drain vacates a
+// GPU administratively so its jobs rebind or migrate:
+//
+//	swrun -machine 2gpu -jobs train:ResNet50:16:1 -vnodes 0 \
+//	      -resize train-ResNet50=2@10s -drain 0@20s -for 60s
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -48,6 +57,9 @@ func main() {
 		slo          = flag.Duration("slo", 0, "serving latency SLO; admission control sheds beyond it (0 = admit all)")
 		maxBatch     = flag.Int("max-batch", 0, "fuse up to this many requests per compute launch (0 = no batching)")
 		batchWait    = flag.Duration("batch-wait", 0, "max wait for a sub-target micro-batch to fill")
+		vnodesFlag   = flag.String("vnodes", "", "split training jobs across these GPUs as virtual nodes, e.g. 0,1 (switchflow only)")
+		drainFlag    = flag.String("drain", "", "drain GPUs mid-run, as gpu@time[,gpu@time...] (e.g. 0@20s)")
+		resizeFlag   = flag.String("resize", "", "resize elastic jobs mid-run, as job=vnodes@time[,...] (e.g. train-ResNet50=2@10s)")
 	)
 	flag.Parse()
 	serving := servingOpts{
@@ -58,7 +70,8 @@ func main() {
 	if *scenarioFlag != "" {
 		err = runScenario(*scenarioFlag)
 	} else {
-		err = run(*machineFlag, *schedFlag, *jobsFlag, *window, *faultSeed, *loseGPU, *ckptEvery, serving)
+		err = run(*machineFlag, *schedFlag, *jobsFlag, *window, *faultSeed, *loseGPU, *ckptEvery, serving,
+			*vnodesFlag, *drainFlag, *resizeFlag)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swrun:", err)
@@ -96,7 +109,8 @@ func (o servingOpts) apply(spec *switchflow.JobSpec) {
 }
 
 func run(machineName, schedName, jobsSpec string, window time.Duration,
-	faultSeed int64, loseGPU string, ckptEvery time.Duration, serving servingOpts) error {
+	faultSeed int64, loseGPU string, ckptEvery time.Duration, serving servingOpts,
+	vnodesFlag, drainFlag, resizeFlag string) error {
 	spec, err := machineSpec(machineName)
 	if err != nil {
 		return err
@@ -115,19 +129,29 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 	if err != nil {
 		return err
 	}
+	vnodes, err := parseVNodes(vnodesFlag)
+	if err != nil {
+		return err
+	}
 
 	var jobs []*switchflow.Job
+	byName := make(map[string]*switchflow.Job)
 	for _, one := range strings.Split(jobsSpec, ",") {
 		js, err := parseJob(strings.TrimSpace(one))
 		if err != nil {
 			return err
 		}
 		serving.apply(&js)
-		// Training jobs fall back to every other GPU on this machine, in
-		// index order, then the CPU. Under fault injection serving jobs
-		// get the same GPU fallbacks so SwitchFlow can migrate them off a
-		// lost device.
-		if js.Train || len(opts) > 0 {
+		if js.Train && len(vnodes) > 0 {
+			// Elastic placement replaces the legacy fields outright: the
+			// facade rejects specs that mix the two styles.
+			js.GPU, js.FallbackGPUs, js.FallbackCPU = 0, nil, false
+			js.Placement = switchflow.Placement{Device: vnodes[0], VNodes: vnodes}
+		} else if js.Train || len(opts) > 0 {
+			// Training jobs fall back to every other GPU on this machine, in
+			// index order, then the CPU. Under fault injection serving jobs
+			// get the same GPU fallbacks so SwitchFlow can migrate them off a
+			// lost device.
 			for i := 0; i < sim.GPUCount(); i++ {
 				if i != js.GPU {
 					js.FallbackGPUs = append(js.FallbackGPUs, i)
@@ -139,9 +163,32 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 			return err
 		}
 		jobs = append(jobs, job)
+		byName[job.Name()] = job
 	}
 
-	sim.RunFor(window)
+	ops, err := parseElasticOps(drainFlag, resizeFlag, byName)
+	if err != nil {
+		return err
+	}
+	if len(ops) > 0 {
+		sf, ok := sched.(*switchflow.SwitchFlowScheduler)
+		if !ok {
+			return fmt.Errorf("-drain and -resize need the switchflow scheduler, not %s", sched.Name())
+		}
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].at < ops[j].at })
+		for _, op := range ops {
+			if op.at > window {
+				return fmt.Errorf("%s at %v is past the -for window %v", op.what, op.at, window)
+			}
+			sim.RunUntil(op.at)
+			if err := op.run(sf); err != nil {
+				return fmt.Errorf("%s at %v: %w", op.what, op.at, err)
+			}
+		}
+		sim.RunUntil(window)
+	} else {
+		sim.RunFor(window)
+	}
 
 	fmt.Printf("machine=%s scheduler=%s window=%v\n", spec.Name(), sched.Name(), window)
 	for _, job := range jobs {
@@ -151,6 +198,10 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 		}
 		line := fmt.Sprintf("  %-20s iters=%-6d throughput=%8.1f img/s",
 			job.Name(), job.Iterations(), job.Throughput(window))
+		if job.Elastic() {
+			line += fmt.Sprintf("  vnodes=%d binding=%s restarts=%d",
+				job.VNodes(), job.Binding(), job.Restarts())
+		}
 		if job.Requests() > 0 {
 			line += fmt.Sprintf("  p95=%v p99=%v",
 				job.P95Latency().Round(time.Millisecond), job.P99Latency().Round(time.Millisecond))
@@ -227,6 +278,95 @@ func faultOptions(sim *switchflow.Simulation, seed int64, loseGPU string,
 		opts = append(opts, switchflow.WithCheckpointEvery(ckptEvery))
 	}
 	return opts, nil
+}
+
+// parseVNodes parses the -vnodes GPU list ("0,1" → [0, 1]).
+func parseVNodes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var gpus []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-vnodes %q: bad gpu index %q", s, part)
+		}
+		gpus = append(gpus, n)
+	}
+	return gpus, nil
+}
+
+// elasticOp is a scheduled mid-run mutation: the engine runs to at, the
+// op fires, and the run continues.
+type elasticOp struct {
+	at   time.Duration
+	what string
+	run  func(*switchflow.SwitchFlowScheduler) error
+}
+
+// parseElasticOps parses -drain ("gpu@time,...") and -resize
+// ("job=vnodes@time,...") into scheduled operations.
+func parseElasticOps(drainFlag, resizeFlag string, byName map[string]*switchflow.Job) ([]elasticOp, error) {
+	var ops []elasticOp
+	if drainFlag != "" {
+		for _, one := range strings.Split(drainFlag, ",") {
+			gpuStr, atStr, ok := strings.Cut(strings.TrimSpace(one), "@")
+			if !ok {
+				return nil, fmt.Errorf("-drain %q: want gpu@time, e.g. 0@20s", one)
+			}
+			gpu, err := strconv.Atoi(gpuStr)
+			if err != nil {
+				return nil, fmt.Errorf("-drain %q: bad gpu index", one)
+			}
+			at, err := time.ParseDuration(atStr)
+			if err != nil {
+				return nil, fmt.Errorf("-drain %q: bad time: %v", one, err)
+			}
+			ops = append(ops, elasticOp{
+				at:   at,
+				what: fmt.Sprintf("drain gpu:%d", gpu),
+				run:  func(sf *switchflow.SwitchFlowScheduler) error { return sf.Drain(gpu) },
+			})
+		}
+	}
+	if resizeFlag != "" {
+		for _, one := range strings.Split(resizeFlag, ",") {
+			name, rest, ok := strings.Cut(strings.TrimSpace(one), "=")
+			if !ok {
+				return nil, fmt.Errorf("-resize %q: want job=vnodes@time, e.g. train-ResNet50=2@10s", one)
+			}
+			nStr, atStr, ok := strings.Cut(rest, "@")
+			if !ok {
+				return nil, fmt.Errorf("-resize %q: want job=vnodes@time", one)
+			}
+			n, err := strconv.Atoi(nStr)
+			if err != nil {
+				return nil, fmt.Errorf("-resize %q: bad vnode count", one)
+			}
+			at, err := time.ParseDuration(atStr)
+			if err != nil {
+				return nil, fmt.Errorf("-resize %q: bad time: %v", one, err)
+			}
+			job, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("-resize %q: no job named %q", one, name)
+			}
+			ops = append(ops, elasticOp{
+				at:   at,
+				what: fmt.Sprintf("resize %s to %d", name, n),
+				run: func(sf *switchflow.SwitchFlowScheduler) error {
+					if n > job.VNodes() {
+						return sf.Grow(job, n)
+					}
+					if n < job.VNodes() {
+						return sf.Shrink(job, n)
+					}
+					return nil
+				},
+			})
+		}
+	}
+	return ops, nil
 }
 
 func machineSpec(name string) (switchflow.MachineSpec, error) {

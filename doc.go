@@ -13,7 +13,7 @@
 // jobs, and advance virtual time.
 //
 //	sim := switchflow.NewSimulation(switchflow.V100Server())
-//	sched := sim.SwitchFlow()
+//	sched, _ := sim.NewSwitchFlowScheduler()
 //	train, _ := sched.AddJob(switchflow.JobSpec{
 //		Name: "train", Model: "VGG16", Batch: 32, Train: true, Priority: 1,
 //	})

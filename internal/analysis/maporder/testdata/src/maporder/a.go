@@ -120,6 +120,34 @@ func goodLocals(m map[string]int) int {
 	return count
 }
 
+// badRebindTarget picks a replacement device for a virtual node straight
+// out of map order: two runs heal the same fault onto different GPUs.
+func badRebindTarget(replicas map[int]bool) (int, bool) {
+	for dev, healthy := range replicas { // want `returns from inside the loop`
+		if healthy {
+			return dev, true
+		}
+	}
+	return -1, false
+}
+
+// goodRebindTarget is the rebind-at-epoch idiom: collect the candidate
+// devices, sort, then bind the lowest — the choice is deterministic, so
+// the epoch-safe rebind replays identically.
+func goodRebindTarget(replicas map[int]bool) (int, bool) {
+	var devs []int
+	for dev, healthy := range replicas {
+		if healthy {
+			devs = append(devs, dev)
+		}
+	}
+	sort.Ints(devs)
+	if len(devs) == 0 {
+		return -1, false
+	}
+	return devs[0], true
+}
+
 // allowedDump carries a directive: order genuinely does not matter.
 func allowedDump(m map[string]int) {
 	//swlint:allow maporder debug dump, consumer sorts lines before diffing

@@ -277,10 +277,10 @@ func (c *Cluster) tryPlace(h *JobHandle) bool {
 }
 
 // freeWeightBytes estimates the admissible persistent state on a GPU; a
-// failed GPU admits nothing.
+// failed or draining GPU admits nothing.
 func freeWeightBytes(n *Node, gpu int) int64 {
 	g := n.machine.GPU(gpu)
-	if g.Failed() {
+	if g.Failed() || g.Draining() {
 		return -1
 	}
 	return g.Mem.Available()

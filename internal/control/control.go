@@ -12,7 +12,11 @@
 //	POST /v1/jobs            submit a job (JobRequest) -> JobInfo
 //	GET  /v1/jobs/{id}       one job
 //	DELETE /v1/jobs/{id}     stop a job
+//	POST /v1/jobs/{id}/resize  grow/shrink an elastic job (ResizeRequest)
+//	POST /v1/jobs/{id}/rebind  move one virtual node (RebindRequest)
 //	POST /v1/groups          submit a shared-input group ([]JobRequest)
+//	POST /v1/gpus/{gpu}/drain    vacate a GPU (elastic jobs rebind, others migrate)
+//	POST /v1/gpus/{gpu}/undrain  make a drained GPU placeable again
 //	POST /v1/advance         advance virtual time (AdvanceRequest)
 //	GET  /v1/trace           Chrome trace-event JSON of the recorded window
 //	GET  /v1/metrics         observability-spine event counts + aggregates
@@ -56,6 +60,12 @@ type JobRequest struct {
 	// batch may wait for more requests.
 	MaxBatch        int     `json:"maxBatch,omitempty"`
 	BatchWaitMillis float64 `json:"batchWaitMillis,omitempty"`
+	// VNodes requests elastic virtual-node placement: the batch splits
+	// across these GPUs and the binding can change at runtime via the
+	// resize/rebind/drain endpoints. When set, the gpu/fallback fields
+	// above are ignored in favour of the placement (vnodes[0] is the
+	// primary, fallbackGpus/fallbackCpu become the placement fallbacks).
+	VNodes []int `json:"vnodes,omitempty"`
 }
 
 // JobInfo is the per-job status payload.
@@ -78,8 +88,14 @@ type JobInfo struct {
 	Batches          int     `json:"batches,omitempty"`
 	SLOAttainmentPct float64 `json:"sloAttainmentPct,omitempty"`
 	MeanBatch        float64 `json:"meanBatch,omitempty"`
-	Crashed          bool    `json:"crashed"`
-	Error            string  `json:"error,omitempty"`
+	// Elastic placement: virtual-node count and current binding (empty
+	// for legacy single-device jobs), plus the restart counter that the
+	// elastic path keeps at zero.
+	VNodes   int    `json:"vnodes,omitempty"`
+	Binding  string `json:"binding,omitempty"`
+	Restarts int    `json:"restarts,omitempty"`
+	Crashed  bool   `json:"crashed"`
+	Error    string `json:"error,omitempty"`
 }
 
 // StatusInfo is the simulation-wide status payload.
@@ -102,6 +118,19 @@ type GPUInfo struct {
 	Index      int     `json:"index"`
 	BusyMillis float64 `json:"busyMillis"`
 	MemUsed    int64   `json:"memUsedBytes"`
+}
+
+// ResizeRequest changes an elastic job's virtual-node count; the split
+// is re-priced across the job's current devices (growing adds GPUs).
+type ResizeRequest struct {
+	VNodes int `json:"vnodes"`
+}
+
+// RebindRequest moves one virtual node to a different GPU at the next
+// epoch-safe point.
+type RebindRequest struct {
+	VNode int `json:"vnode"`
+	GPU   int `json:"gpu"`
 }
 
 // AdvanceRequest advances virtual time.
@@ -159,11 +188,16 @@ func NewServer(machine string) (*Server, error) {
 		obs.KindKernelSpan, obs.KindLaunch, obs.KindPreempt, obs.KindResume,
 		obs.KindMigrate, obs.KindBatchFuse, obs.KindAdmit, obs.KindShed,
 		obs.KindServe, obs.KindFaultInject, obs.KindJobLost,
-		obs.KindCheckpoint, obs.KindRestore, obs.KindPlace)
+		obs.KindCheckpoint, obs.KindRestore, obs.KindPlace,
+		obs.KindBind, obs.KindRebind, obs.KindResize)
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		machine:  spec.Name(),
 		sim:      sim,
-		sched:    sim.SwitchFlow(),
+		sched:    sched,
 		jobs:     make(map[int]*jobEntry),
 		recorder: rec,
 	}, nil
@@ -191,7 +225,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleStopJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/resize", s.handleResizeJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/rebind", s.handleRebindJob)
 	mux.HandleFunc("POST /v1/groups", s.handleSubmitGroup)
+	mux.HandleFunc("POST /v1/gpus/{gpu}/drain", s.handleDrain)
+	mux.HandleFunc("POST /v1/gpus/{gpu}/undrain", s.handleUndrain)
 	mux.HandleFunc("POST /v1/advance", s.handleAdvance)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -348,6 +386,102 @@ func (s *Server) jobInfoLocked(idText string, stop bool) (JobInfo, error) {
 	return s.info(entry), nil
 }
 
+func (s *Server) handleResizeJob(w http.ResponseWriter, r *http.Request) {
+	var req ResizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	info, err := s.resizeJobLocked(r.PathValue("id"), req)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) resizeJobLocked(idText string, req ResizeRequest) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, err := s.lookup(idText)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	switch n := req.VNodes; {
+	case n > entry.job.VNodes():
+		err = s.sched.Grow(entry.job, n)
+	case n < entry.job.VNodes():
+		err = s.sched.Shrink(entry.job, n)
+	}
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return s.info(entry), nil
+}
+
+func (s *Server) handleRebindJob(w http.ResponseWriter, r *http.Request) {
+	var req RebindRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	info, err := s.rebindJobLocked(r.PathValue("id"), req)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) rebindJobLocked(idText string, req RebindRequest) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, err := s.lookup(idText)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	if err := s.sched.Rebind(entry.job, req.VNode, req.GPU); err != nil {
+		return JobInfo{}, err
+	}
+	return s.info(entry), nil
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	status, err := s.drainLocked(r.PathValue("gpu"), true)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	status, err := s.drainLocked(r.PathValue("gpu"), false)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) drainLocked(gpuText string, drain bool) (StatusInfo, error) {
+	gpu, err := strconv.Atoi(gpuText)
+	if err != nil {
+		return StatusInfo{}, fmt.Errorf("bad gpu index %q", gpuText)
+	}
+	s.mu.Lock()
+	if drain {
+		err = s.sched.Drain(gpu)
+	} else {
+		err = s.sched.Undrain(gpu)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return StatusInfo{}, err
+	}
+	return s.statusLocked(), nil
+}
+
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	var req AdvanceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -465,6 +599,11 @@ func jobInfo(id int, model string, job *switchflow.Job) JobInfo {
 		MeanBatch:        job.MeanBatch(),
 		Crashed:          job.Crashed(),
 	}
+	if job.Elastic() {
+		info.VNodes = job.VNodes()
+		info.Binding = job.Binding()
+		info.Restarts = job.Restarts()
+	}
 	if err := job.Err(); err != nil {
 		info.Error = err.Error()
 	}
@@ -472,15 +611,12 @@ func jobInfo(id int, model string, job *switchflow.Job) JobInfo {
 }
 
 func toSpec(req JobRequest) switchflow.JobSpec {
-	return switchflow.JobSpec{
+	spec := switchflow.JobSpec{
 		Name:            req.Name,
 		Model:           req.Model,
 		Batch:           req.Batch,
 		Train:           req.Train,
 		Priority:        req.Priority,
-		GPU:             req.GPU,
-		FallbackGPUs:    req.FallbackGPUs,
-		FallbackCPU:     req.FallbackCPU,
 		ServeEvery:      time.Duration(req.ServeEveryMS) * time.Millisecond,
 		ClosedLoop:      req.ClosedLoop,
 		Saturated:       req.Saturated,
@@ -490,6 +626,19 @@ func toSpec(req JobRequest) switchflow.JobSpec {
 		MaxBatch:        req.MaxBatch,
 		BatchWait:       time.Duration(req.BatchWaitMillis * float64(time.Millisecond)),
 	}
+	if len(req.VNodes) > 0 {
+		spec.Placement = switchflow.Placement{
+			Device:    req.VNodes[0],
+			Fallbacks: req.FallbackGPUs,
+			AllowCPU:  req.FallbackCPU,
+			VNodes:    req.VNodes,
+		}
+	} else {
+		spec.GPU = req.GPU
+		spec.FallbackGPUs = req.FallbackGPUs
+		spec.FallbackCPU = req.FallbackCPU
+	}
+	return spec
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

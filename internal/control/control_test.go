@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -447,5 +448,85 @@ func TestTraceAndMetricsEndpoints(t *testing.T) {
 	}
 	if spans == 0 || preempts == 0 {
 		t.Fatalf("trace has %d spans and %d preempt instants, want both > 0", spans, preempts)
+	}
+}
+
+func TestElasticLifecycleOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+
+	var created JobInfo
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "train", Model: "ResNet50", Batch: 16, Train: true, Priority: 1,
+		VNodes: []int{0},
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d", code)
+	}
+	if created.VNodes != 1 || created.Binding == "" {
+		t.Fatalf("created elastic job = %+v", created)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil)
+
+	// Grow to two virtual nodes.
+	var info JobInfo
+	url := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID)
+	if code := doJSON(t, "POST", url+"/resize", ResizeRequest{VNodes: 2}, &info); code != 200 {
+		t.Fatalf("resize status = %d", code)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil)
+	if code := doJSON(t, "GET", url, nil, &info); code != 200 {
+		t.Fatalf("get status = %d", code)
+	}
+	if info.VNodes != 2 {
+		t.Fatalf("after resize VNodes = %d, want 2; info = %+v", info.VNodes, info)
+	}
+
+	// Move the second virtual node to gpu:2 explicitly.
+	if code := doJSON(t, "POST", url+"/rebind", RebindRequest{VNode: 1, GPU: 2}, &info); code != 200 {
+		t.Fatalf("rebind status = %d", code)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil)
+
+	// Drain gpu:0: the job must rebind off it without restarting.
+	var status StatusInfo
+	if code := doJSON(t, "POST", ts.URL+"/v1/gpus/0/drain", nil, &status); code != 200 {
+		t.Fatalf("drain status = %d", code)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 4000}, nil)
+	if code := doJSON(t, "GET", url, nil, &info); code != 200 {
+		t.Fatalf("get status = %d", code)
+	}
+	if info.Crashed || info.Restarts != 0 {
+		t.Fatalf("drained elastic job = %+v, want alive with 0 restarts", info)
+	}
+	if strings.Contains(info.Binding, "gpu:0") {
+		t.Fatalf("binding %q still uses drained gpu:0", info.Binding)
+	}
+
+	// Undrain and confirm the spine recorded the elastic decisions.
+	if code := doJSON(t, "POST", ts.URL+"/v1/gpus/0/undrain", nil, &status); code != 200 {
+		t.Fatalf("undrain status = %d", code)
+	}
+	var metrics MetricsInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics status = %d", code)
+	}
+	for _, kind := range []string{"Bind", "Rebind", "Resize"} {
+		if metrics.ByKind[kind] == 0 {
+			t.Fatalf("no %s events on the spine: %+v", kind, metrics.ByKind)
+		}
+	}
+
+	// Error paths: resizing a legacy job and draining a bogus GPU.
+	var legacy JobInfo
+	doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "legacy", Model: "ResNet50", Batch: 16, Train: true, Priority: 1, GPU: 1,
+	}, &legacy)
+	legacyURL := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, legacy.ID)
+	if code := doJSON(t, "POST", legacyURL+"/resize", ResizeRequest{VNodes: 2}, nil); code != http.StatusConflict {
+		t.Fatalf("resize of legacy job status = %d, want %d", code, http.StatusConflict)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/gpus/99/drain", nil, nil); code != http.StatusConflict {
+		t.Fatalf("drain of gpu:99 status = %d, want %d", code, http.StatusConflict)
 	}
 }

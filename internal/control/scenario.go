@@ -61,18 +61,25 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 
 	var sched switchflow.Scheduler
 	var sf *switchflow.SwitchFlowScheduler
+	var policy switchflow.Policy
 	switch sc.Scheduler {
 	case "switchflow", "":
-		sf = sim.SwitchFlow()
-		sched = sf
+		policy = switchflow.PolicySwitchFlow
 	case "threaded":
-		sched = sim.ThreadedTF()
+		policy = switchflow.PolicyThreadedTF
 	case "timeslice":
-		sched = sim.TimeSlice()
+		policy = switchflow.PolicyTimeSlice
 	case "mps":
-		sched = sim.MPS()
+		policy = switchflow.PolicyMPS
 	default:
 		return ScenarioResult{}, fmt.Errorf("control: unknown scheduler %q", sc.Scheduler)
+	}
+	sched, err = sim.NewScheduler(policy)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	if policy == switchflow.PolicySwitchFlow {
+		sf = sched.(*switchflow.SwitchFlowScheduler)
 	}
 
 	type namedJob struct {

@@ -54,9 +54,10 @@ func (m *Manager) handleDeviceLost(dev device.ID) {
 	if dev.Kind != device.KindGPU || dev.Index >= len(m.machine.GPUs) {
 		return
 	}
-	// The arbiter's grant queue only ever holds jobs whose current device
-	// is this GPU; every one of them is about to be migrated or crashed,
-	// so the whole arbiter resets.
+	// The arbiter's grant queue only ever holds jobs computing on this GPU
+	// (legacy jobs placed here, elastic shards bound here); every one of
+	// them is about to be migrated, healed, or crashed, so the whole
+	// arbiter resets.
 	m.arbs[dev.Index] = &arbiter{}
 	faultAt := m.eng.Now()
 	for _, js := range m.jobs {
@@ -64,7 +65,16 @@ func (m *Manager) handleDeviceLost(dev device.ID) {
 		// migration source not yet freed); the pool was invalidated
 		// wholesale, so drop the accounting rather than double-freeing.
 		js.job.ForgetDevice(dev)
-		if js.stopped || js.job.Crashed() || js.current != dev {
+		if js.stopped || js.job.Crashed() {
+			continue
+		}
+		if js.job.Elastic() {
+			// Zero-restart healing: surviving replicas re-seed a re-split
+			// binding; no rollback, no Restarts increment.
+			m.healElastic(js, dev, faultAt)
+			continue
+		}
+		if js.current != dev {
 			continue
 		}
 		js.epoch++
@@ -179,6 +189,10 @@ func (m *Manager) handleTransient(dev device.ID) {
 	if js == nil {
 		return
 	}
+	if js.job.Elastic() {
+		m.handleElasticTransient(js, dev)
+		return
+	}
 	js.epoch++
 	if js.computeRun != nil {
 		js.computeRun.Discard()
@@ -237,7 +251,18 @@ func (m *Manager) transientVictim(dev device.ID) *jobState {
 		}
 	}
 	for _, js := range m.jobs {
-		if js.stopped || js.job.Crashed() || js.restarting || js.current != dev {
+		if js.stopped || js.job.Crashed() || js.restarting {
+			continue
+		}
+		if js.job.Elastic() {
+			// An elastic job is exposed on every device its binding touches,
+			// not just its primary.
+			if js.job.Binding().Uses(dev) || js.job.WeightsOn(dev) {
+				return js
+			}
+			continue
+		}
+		if js.current != dev {
 			continue
 		}
 		if js.job.ComputeRunning || js.computeRun != nil || js.job.WeightsOn(dev) {

@@ -31,6 +31,13 @@ func (m *Manager) AddSharedGroup(cfgs []workload.Config) (*Group, []*workload.Jo
 	if len(cfgs) < 2 {
 		return nil, nil, fmt.Errorf("core: a shared group needs at least 2 jobs, got %d", len(cfgs))
 	}
+	for _, cfg := range cfgs {
+		// Groups run in lockstep on one device; an elastic member's binding
+		// could move mid-group, so the combination is rejected.
+		if len(cfg.VNodes) > 0 {
+			return nil, nil, fmt.Errorf("core: shared group member %q cannot use virtual nodes", cfg.Name)
+		}
+	}
 	for _, cfg := range cfgs[1:] {
 		if cfg.Device != cfgs[0].Device {
 			return nil, nil, fmt.Errorf("core: shared group members must target one device")

@@ -16,7 +16,7 @@ import (
 func TestInvariant1NoGPUCoRun(t *testing.T) {
 	eng, machine, m := newHarness(t, Options{}, device.ClassV100)
 	tl := &trace.Timeline{}
-	tl.Attach(machine.GPU(0))
+	tl.AttachBus(machine.Bus())
 
 	if _, err := m.AddJob(trainCfg(t, "t1", "ResNet50", 16, 1, device.GPUID(0))); err != nil {
 		t.Fatal(err)
@@ -52,7 +52,7 @@ func TestInvariant1NoGPUCoRun(t *testing.T) {
 func TestInvariant1ViolatedWhenDisabled(t *testing.T) {
 	eng, machine, m := newHarness(t, Options{DisableGPUExclusive: true}, device.ClassV100)
 	tl := &trace.Timeline{}
-	tl.Attach(machine.GPU(0))
+	tl.AttachBus(machine.Bus())
 	if _, err := m.AddJob(trainCfg(t, "t1", "MobileNetV2", 16, 1, device.GPUID(0))); err != nil {
 		t.Fatal(err)
 	}

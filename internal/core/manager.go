@@ -118,6 +118,12 @@ type jobState struct {
 	// fault yanks the job off its device mid-flight.
 	restarting bool
 	epoch      int
+
+	// Elastic state (jobs admitted with Config.VNodes): one shard per
+	// virtual node of the current binding, plus binding mutations queued
+	// for the next epoch-safe point.
+	shards     []*shardState
+	pendingOps []func()
 }
 
 // NewManager creates a SwitchFlow manager over the machine. The global
@@ -176,10 +182,35 @@ func (m *Manager) AddJob(cfg workload.Config) (*workload.Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := job.AllocWeights(cfg.Device); err != nil {
+	if job.Elastic() {
+		// One full data-parallel weight replica per distinct bound device;
+		// admission fails atomically when any replica does not fit.
+		placed := make([]device.ID, 0, len(job.Binding().Devices()))
+		for _, dev := range job.Binding().Devices() {
+			if err := job.AllocWeights(dev); err != nil {
+				for _, d := range placed {
+					job.FreeWeights(d)
+				}
+				return nil, fmt.Errorf("core: admit %s: replica on %v: %w", cfg.Name, dev, err)
+			}
+			placed = append(placed, dev)
+		}
+	} else if err := job.AllocWeights(cfg.Device); err != nil {
 		return nil, fmt.Errorf("core: admit %s: %w", cfg.Name, err)
 	}
 	js := &jobState{job: job, current: cfg.Device, weightsReady: true}
+	if job.Elastic() {
+		m.rebuildShards(js)
+		for i := 0; i < job.Binding().Len(); i++ {
+			m.bus.Emit(obs.Event{
+				Kind:   obs.KindBind,
+				Ctx:    job.Ctx,
+				Job:    cfg.Name,
+				Device: job.Binding().Node(i).Device.String(),
+				Count:  i,
+			})
+		}
+	}
 	m.jobs = append(m.jobs, js)
 	job.StartArrivals(func() { m.pump(js) })
 	m.eng.After(0, func() { m.pump(js) })
@@ -217,6 +248,14 @@ func (m *Manager) JobDevice(job *workload.Job) device.ID {
 // change and is idempotent.
 func (m *Manager) pump(js *jobState) {
 	if js.stopped || js.job.Crashed() || js.preempting || js.restarting {
+		return
+	}
+	if js.job.Elastic() {
+		// Elastic jobs fan each step out across their virtual-node shards;
+		// input stays the free-CPU-executor path (invariant 2 is about CPU
+		// stages, which vnodes do not change).
+		m.pumpInput(js)
+		m.pumpShards(js)
 		return
 	}
 	if m.opts.DisableFreeCPUExecutors {
@@ -469,6 +508,10 @@ func (m *Manager) afterCompute(js *jobState) {
 		return
 	}
 	m.releaseFrom(js)
+	// A legacy job's epoch-safe point is right here, between iterations
+	// with the grant released: apply any queued binding ops (drain
+	// migrations) before pumping the next iteration.
+	m.applyPendingOps(js)
 	m.pump(js)
 }
 

@@ -89,6 +89,13 @@ func (m *Manager) emitPreempt(gpu int, victim *jobState, how string) {
 // victim either migrates to a fallback device or waits in the temporary
 // pool until it regains the GPU.
 func (m *Manager) preempt(gpu int, victim *jobState) {
+	if victim.job.Elastic() {
+		// Elastic victims are preempted per shard: only the shard on the
+		// contended GPU suspends; siblings keep computing. (The checkpoint
+		// ablation does not apply — vnode replicas make it moot.)
+		m.preemptShard(gpu, victim)
+		return
+	}
 	if m.opts.CheckpointPreemption {
 		// Gandiva-style: no abort; the victim runs its mini-batch to
 		// completion, then checkpoints out (§6). The grant follows the
@@ -148,10 +155,10 @@ func (m *Manager) preempt(gpu int, victim *jobState) {
 		if m.opts.SyncStateTransfer {
 			// Ablation: the state transfer joins the preemption critical
 			// path — the new job waits for it.
-			m.migrate(victim, from, fallback, release)
+			m.migrate(victim, from, fallback, "preempt", release)
 			return
 		}
-		m.migrate(victim, from, fallback, nil)
+		m.migrate(victim, from, fallback, "preempt", nil)
 		release()
 	}
 
@@ -190,9 +197,10 @@ func (m *Manager) pickFallback(victim *jobState) (device.ID, bool) {
 
 // migrate moves the victim to dev: weights are copied off the preemption
 // critical path; the source GPU retains the weight bytes until the
-// transfer completes (§3.3, Table 1). onDone, when non-nil, fires at
-// transfer completion (used by the synchronous-transfer ablation).
-func (m *Manager) migrate(victim *jobState, from, to device.ID, onDone func()) {
+// transfer completes (§3.3, Table 1). reason tags the migrate event
+// ("preempt", "fault", "drain"); onDone, when non-nil, fires at transfer
+// completion (used by the synchronous-transfer ablation).
+func (m *Manager) migrate(victim *jobState, from, to device.ID, reason string, onDone func()) {
 	if _, err := victim.job.Version(to); err != nil {
 		victim.job.Crash(err)
 		return
@@ -211,7 +219,7 @@ func (m *Manager) migrate(victim *jobState, from, to device.ID, onDone func()) {
 		Job:    victim.job.Cfg.Name,
 		From:   from.String(),
 		Device: to.String(),
-		Name:   "preempt",
+		Name:   reason,
 	})
 	victim.current = to
 	victim.weightsReady = false

@@ -71,6 +71,7 @@ type GPU struct {
 	launched   uint64
 	dropped    uint64
 	failed     bool
+	draining   bool
 	slowdown   float64 // execution slowdown while degraded; 0 or 1 = healthy
 }
 
@@ -137,6 +138,17 @@ func (g *GPU) Waiting() int { return len(g.queue) }
 
 // Launched returns the total number of kernels ever submitted.
 func (g *GPU) Launched() uint64 { return g.launched }
+
+// Draining reports whether the device is being drained for maintenance:
+// it still executes work, but placement layers must stop assigning new
+// jobs or virtual nodes to it.
+func (g *GPU) Draining() bool { return g.draining }
+
+// SetDraining marks (or clears) the device's administrative drain state.
+// Unlike Fail it has no hardware effect — in-flight kernels finish and
+// resident memory stays valid, so schedulers can migrate state off the
+// device over the cheap peer path.
+func (g *GPU) SetDraining(v bool) { g.draining = v }
 
 // BusyTime returns the accumulated time during which at least one kernel
 // was executing, for utilization accounting (Figure 3).

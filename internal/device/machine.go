@@ -92,6 +92,17 @@ func (m *Machine) Healthy(id ID) bool {
 	return gpu != nil && !gpu.Failed()
 }
 
+// Placeable reports whether id may receive new placements: healthy and,
+// for GPUs, not administratively draining. Drained devices keep running
+// what they already host until the scheduler moves it off.
+func (m *Machine) Placeable(id ID) bool {
+	if id.Kind != KindGPU {
+		return true
+	}
+	gpu := m.GPU(id.Index)
+	return gpu != nil && !gpu.Failed() && !gpu.Draining()
+}
+
 // HealthyGPUs returns how many GPUs have not failed.
 func (m *Machine) HealthyGPUs() int {
 	n := 0

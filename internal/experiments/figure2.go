@@ -46,7 +46,7 @@ func Figure2(window time.Duration) Figure2Result {
 	eng := sim.NewEngine()
 	machine := machineFor(eng, "V100")
 	tl := &trace.Timeline{}
-	tl.Attach(machine.GPU(0))
+	tl.AttachBus(machine.Bus())
 	sched := baseline.NewThreadedTF(eng, machine)
 	a, err := sched.AddJob(trainConfig("resnet50-a", "ResNet50", batch, 1))
 	if err != nil {

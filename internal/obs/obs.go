@@ -66,6 +66,16 @@ const (
 	// KindPlace is a cluster-level placement decision binding a job to a
 	// node and device.
 	KindPlace
+	// KindBind is a virtual node bound to a physical device (admission or
+	// grow); Count is the vnode index, Dur-free.
+	KindBind
+	// KindRebind is a virtual node moving between physical devices at an
+	// epoch-safe point; From/Device give source and destination, Name says
+	// why ("drain", "fault", "rebind"), Count is the vnode index.
+	KindRebind
+	// KindResize is a job's virtual-node set growing or shrinking; Name is
+	// "grow" or "shrink" and Count the new vnode count.
+	KindResize
 
 	numKinds
 )
@@ -89,6 +99,9 @@ var kindNames = [numKinds]string{
 	KindCheckpoint:  "Checkpoint",
 	KindRestore:     "Restore",
 	KindPlace:       "Place",
+	KindBind:        "Bind",
+	KindRebind:      "Rebind",
+	KindResize:      "Resize",
 }
 
 // String returns the canonical name of the kind.

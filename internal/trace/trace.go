@@ -25,7 +25,7 @@ type record struct {
 
 // Timeline accumulates kernel spans from one or more GPUs. It is an
 // obs.Sink over the observability spine: subscribe it to a bus with
-// AttachBus (every device) or Attach (one GPU, back-compat).
+// AttachBus.
 type Timeline struct {
 	recs    []record
 	nextSeq uint64
@@ -45,22 +45,6 @@ func (t *Timeline) Observe(e obs.Event) {
 // bus. Sinks compose: other subscribers on the same bus are unaffected.
 func (t *Timeline) AttachBus(bus *obs.Bus) {
 	bus.Subscribe(t, obs.KindKernelSpan)
-}
-
-// Attach subscribes the timeline to gpu's kernel completions only,
-// filtering out spans from other devices on the same bus.
-//
-// Deprecated: Attach predates the observability spine, when each GPU had
-// a single replaceable span hook. It now registers a composable bus sink
-// and no longer displaces other subscribers; new code should use
-// AttachBus or subscribe to the machine bus directly.
-func (t *Timeline) Attach(gpu *device.GPU) {
-	id := gpu.ID().String()
-	gpu.EventBus().Subscribe(obs.SinkFunc(func(e obs.Event) {
-		if e.Device == id {
-			t.Observe(e)
-		}
-	}), obs.KindKernelSpan)
 }
 
 // Add records a span directly.

@@ -54,11 +54,11 @@ func TestTimelineOverlap(t *testing.T) {
 	}
 }
 
-func TestTimelineAttachRecordsKernels(t *testing.T) {
+func TestTimelineAttachBusRecordsKernels(t *testing.T) {
 	eng := sim.NewEngine()
 	gpu := device.NewGPU(eng, device.GPUID(0), device.ClassV100)
 	var tl Timeline
-	tl.Attach(gpu)
+	tl.AttachBus(gpu.EventBus())
 	gpu.Submit(device.Kernel{Name: "a", Ctx: 1, Work: time.Millisecond, Occupancy: 0.9})
 	eng.Run()
 	if len(tl.Spans()) != 1 {

@@ -18,6 +18,7 @@ import (
 	"switchflow/internal/obs"
 	"switchflow/internal/sim"
 	"switchflow/internal/threadpool"
+	"switchflow/internal/vnode"
 )
 
 // Kind distinguishes training from serving jobs.
@@ -49,6 +50,13 @@ type Config struct {
 	// Fallbacks lists migration targets in preference order (§3.3); empty
 	// means the job waits on its device when preempted.
 	Fallbacks []device.ID
+	// VNodes, when non-empty, makes a training job elastic: its batch is
+	// split across one virtual node per listed device (devices may repeat
+	// to time-multiplex), with shares priced by internal/cost, and the
+	// binding becomes a runtime property the scheduler may change at
+	// epoch-safe points. Device must equal VNodes[0]. Empty keeps the
+	// legacy single implicit vnode covering the whole batch on Device.
+	VNodes []device.ID
 	// PreprocShards and PerImageCPU configure the input stage (zero picks
 	// model defaults).
 	PreprocShards int
@@ -182,6 +190,11 @@ type Job struct {
 	weightHome   map[device.ID]int64 // allocated weight bytes
 	intermediate map[device.ID]int64
 
+	// Virtual-node state: the runtime binding (vnode.go in this package)
+	// and memoized share-sized graph versions keyed by (device, samples).
+	binding       vnode.Binding
+	shardVersions map[shardKey]*Version
+
 	// Checkpoint/restart recovery state (see recovery.go).
 	checkpointIters int
 	checkpointAt    time.Duration
@@ -229,8 +242,10 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 		batchEst:      make(map[int]time.Duration),
 		weightHome:    make(map[device.ID]int64),
 		intermediate:  make(map[device.ID]int64),
+		shardVersions: make(map[shardKey]*Version),
 	}
 	devices := append([]device.ID{cfg.Device}, cfg.Fallbacks...)
+	devices = append(devices, cfg.VNodes...)
 	for _, dev := range devices {
 		if _, ok := j.versions[dev]; ok {
 			continue
@@ -240,6 +255,21 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 			return nil, err
 		}
 		j.versions[dev] = v
+	}
+	if len(cfg.VNodes) > 0 {
+		if cfg.Kind != KindTraining {
+			return nil, fmt.Errorf("workload: job %q: virtual nodes require a training job", cfg.Name)
+		}
+		if cfg.VNodes[0] != cfg.Device {
+			return nil, fmt.Errorf("workload: job %q: Device %v must equal VNodes[0] %v", cfg.Name, cfg.Device, cfg.VNodes[0])
+		}
+		b, err := vnode.Split(cfg.Batch, cfg.VNodes, j.StepPrice)
+		if err != nil {
+			return nil, fmt.Errorf("workload: job %q: %w", cfg.Name, err)
+		}
+		j.binding = b
+	} else {
+		j.binding = vnode.Single(cfg.Device, cfg.Batch)
 	}
 	j.bus.Subscribe(&j.serving, metrics.ServingSinkKinds...)
 	return j, nil

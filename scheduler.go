@@ -1,14 +1,22 @@
 package switchflow
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"switchflow/internal/baseline"
 	"switchflow/internal/core"
+	"switchflow/internal/device"
 	"switchflow/internal/metrics"
 	"switchflow/internal/workload"
 )
+
+// ErrNotElastic is returned by elastic operations (Grow, Shrink, Rebind,
+// Drain) on schedulers or jobs that do not support virtual-node
+// placement: every baseline, and jobs admitted without Placement.VNodes.
+// Test with errors.Is.
+var ErrNotElastic = errors.New("elastic placement not supported")
 
 // Scheduler is the common surface of SwitchFlow and the baselines.
 type Scheduler interface {
@@ -22,55 +30,20 @@ type Scheduler interface {
 	// FaultStats reports fault-injection and recovery counters; all zero
 	// when the scheduler was built without WithFaultPlan.
 	FaultStats() FaultStats
-}
-
-// SchedulerOptions tune the SwitchFlow manager; the zero value is the
-// paper's design. The Disable* fields reproduce the ablations in
-// DESIGN.md.
-//
-// Deprecated: use NewScheduler with functional options (WithTempPoolThreads,
-// WithoutGPUExclusivity, ...) instead.
-type SchedulerOptions struct {
-	TempPoolThreads          int
-	DisableGPUExclusive      bool
-	DisableFreeCPUExecutors  bool
-	SyncStateTransfer        bool
-	DisableTempPoolIsolation bool
-}
-
-func (o SchedulerOptions) options() []Option {
-	var opts []Option
-	if o.TempPoolThreads > 0 {
-		opts = append(opts, WithTempPoolThreads(o.TempPoolThreads))
-	}
-	if o.DisableGPUExclusive {
-		opts = append(opts, WithoutGPUExclusivity())
-	}
-	if o.DisableFreeCPUExecutors {
-		opts = append(opts, WithoutFreeCPUExecutors())
-	}
-	if o.SyncStateTransfer {
-		opts = append(opts, WithSyncStateTransfer())
-	}
-	if o.DisableTempPoolIsolation {
-		opts = append(opts, WithoutTempPoolIsolation())
-	}
-	return opts
-}
-
-// SwitchFlow creates the paper's scheduler on this simulation.
-//
-// Deprecated: use NewScheduler(PolicySwitchFlow, opts...) instead.
-func (s *Simulation) SwitchFlow(opts ...SchedulerOptions) *SwitchFlowScheduler {
-	var o SchedulerOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	sched, err := s.NewScheduler(PolicySwitchFlow, o.options()...)
-	if err != nil {
-		panic(err) // unreachable: every converted option is valid
-	}
-	return sched.(*SwitchFlowScheduler)
+	// Grow raises an elastic job's virtual-node count to n at its next
+	// epoch-safe point, re-splitting the batch without a restart. Errors
+	// wrap ErrNotElastic on baselines and non-elastic jobs.
+	Grow(j *Job, n int) error
+	// Shrink lowers an elastic job's virtual-node count to n, dropping
+	// the highest-indexed vnodes and freeing replicas left unused.
+	Shrink(j *Job, n int) error
+	// Rebind moves virtual node vn of an elastic job onto GPU gpu at the
+	// job's next epoch-safe point.
+	Rebind(j *Job, vn, gpu int) error
+	// Drain marks GPU gpu as draining: new placements avoid it and every
+	// bound virtual node (or legacy job) is moved off it gracefully. Only
+	// SwitchFlow can drain; baselines wrap ErrNotElastic.
+	Drain(gpu int) error
 }
 
 // SwitchFlowScheduler is the preemptive multitasking scheduler (§3).
@@ -140,6 +113,48 @@ func (s *SwitchFlowScheduler) PreemptionP95() time.Duration {
 // FaultStats implements Scheduler.
 func (s *SwitchFlowScheduler) FaultStats() FaultStats { return faultStatsFrom(s.m.FaultCounters()) }
 
+// Grow implements Scheduler: the job's batch re-splits across n virtual
+// nodes without a restart, extending onto idle placeable GPUs first.
+func (s *SwitchFlowScheduler) Grow(j *Job, n int) error {
+	if !j.inner.Elastic() {
+		return fmt.Errorf("switchflow: grow %q: %w (admit with Placement.VNodes)", j.Name(), ErrNotElastic)
+	}
+	if n <= j.inner.Binding().Len() {
+		return fmt.Errorf("switchflow: grow %q to %d vnodes: already has %d", j.Name(), n, j.inner.Binding().Len())
+	}
+	return s.m.Resize(j.inner, n)
+}
+
+// Shrink implements Scheduler.
+func (s *SwitchFlowScheduler) Shrink(j *Job, n int) error {
+	if !j.inner.Elastic() {
+		return fmt.Errorf("switchflow: shrink %q: %w (admit with Placement.VNodes)", j.Name(), ErrNotElastic)
+	}
+	if n >= j.inner.Binding().Len() {
+		return fmt.Errorf("switchflow: shrink %q to %d vnodes: only has %d", j.Name(), n, j.inner.Binding().Len())
+	}
+	return s.m.Resize(j.inner, n)
+}
+
+// Rebind implements Scheduler.
+func (s *SwitchFlowScheduler) Rebind(j *Job, vn, gpu int) error {
+	if !j.inner.Elastic() {
+		return fmt.Errorf("switchflow: rebind %q: %w (admit with Placement.VNodes)", j.Name(), ErrNotElastic)
+	}
+	return s.m.RebindJob(j.inner, vn, device.GPUID(gpu))
+}
+
+// Drain implements Scheduler.
+func (s *SwitchFlowScheduler) Drain(gpu int) error {
+	return s.m.DrainDevice(device.GPUID(gpu))
+}
+
+// Undrain clears a drain mark so the GPU accepts placements again;
+// bindings moved away do not move back automatically.
+func (s *SwitchFlowScheduler) Undrain(gpu int) error {
+	return s.m.UndrainDevice(device.GPUID(gpu))
+}
+
 // RecoveryP95 returns the 95th-percentile fault-to-serving-again latency
 // across recovered jobs (migrations after device loss, restarts after
 // transient errors).
@@ -165,44 +180,29 @@ func (g *SharedGroup) Jobs() []*Job { return g.jobs }
 // Stop halts the group.
 func (g *SharedGroup) Stop() { g.group.Stop() }
 
-// ThreadedTF creates the multi-threaded TensorFlow baseline: free GPU
-// sharing through per-job streams, OOM crashes possible.
-//
-// Deprecated: use NewScheduler(PolicyThreadedTF) instead.
-func (s *Simulation) ThreadedTF() Scheduler { return s.mustScheduler(PolicyThreadedTF) }
-
-// TimeSlice creates the Gandiva-style session time-slicing baseline.
-//
-// Deprecated: use NewScheduler(PolicyTimeSlice) instead.
-func (s *Simulation) TimeSlice() Scheduler { return s.mustScheduler(PolicyTimeSlice) }
-
-// MPS creates the NVIDIA MPS baseline: spatial sharing with per-process
-// memory reservations.
-//
-// Deprecated: use NewScheduler(PolicyMPS) instead.
-func (s *Simulation) MPS() Scheduler { return s.mustScheduler(PolicyMPS) }
-
-func (s *Simulation) mustScheduler(policy Policy) Scheduler {
-	sched, err := s.NewScheduler(policy)
-	if err != nil {
-		panic(err) // unreachable: the policy constants are all valid
-	}
-	return sched
-}
-
 // specConfig validates a spec against this simulation's machine and
 // lowers it to a workload config.
 func (s *Simulation) specConfig(spec JobSpec) (workload.Config, error) {
 	if err := spec.Validate(); err != nil {
 		return workload.Config{}, err
 	}
-	if spec.GPU >= s.GPUCount() {
-		return workload.Config{}, fmt.Errorf("%w: GPU index %d out of range (machine has %d GPUs)",
-			ErrInvalidJobSpec, spec.GPU, s.GPUCount())
+	p, err := spec.placement()
+	if err != nil {
+		return workload.Config{}, err
 	}
-	for _, g := range spec.FallbackGPUs {
+	if p.Device >= s.GPUCount() {
+		return workload.Config{}, fmt.Errorf("%w: GPU index %d out of range (machine has %d GPUs)",
+			ErrInvalidJobSpec, p.Device, s.GPUCount())
+	}
+	for _, g := range p.Fallbacks {
 		if g >= s.GPUCount() {
 			return workload.Config{}, fmt.Errorf("%w: fallback GPU index %d out of range (machine has %d GPUs)",
+				ErrInvalidJobSpec, g, s.GPUCount())
+		}
+	}
+	for _, g := range p.VNodes {
+		if g >= s.GPUCount() {
+			return workload.Config{}, fmt.Errorf("%w: virtual node GPU index %d out of range (machine has %d GPUs)",
 				ErrInvalidJobSpec, g, s.GPUCount())
 		}
 	}
@@ -231,6 +231,9 @@ func (b *baselineScheduler) AddJob(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(cfg.VNodes) > 0 {
+		return nil, fmt.Errorf("%s: job %q uses virtual nodes: %w", b.name, spec.Name, ErrNotElastic)
+	}
 	inner, err := b.add.addJob(cfg)
 	if err != nil {
 		return nil, err
@@ -241,6 +244,26 @@ func (b *baselineScheduler) AddJob(spec JobSpec) (*Job, error) {
 func (b *baselineScheduler) StopJob(j *Job) { b.add.stopJob(j.inner) }
 
 func (b *baselineScheduler) FaultStats() FaultStats { return faultStatsFrom(b.faults()) }
+
+// Grow implements Scheduler; baselines have no elastic path.
+func (b *baselineScheduler) Grow(j *Job, n int) error {
+	return fmt.Errorf("%s: grow: %w", b.name, ErrNotElastic)
+}
+
+// Shrink implements Scheduler; baselines have no elastic path.
+func (b *baselineScheduler) Shrink(j *Job, n int) error {
+	return fmt.Errorf("%s: shrink: %w", b.name, ErrNotElastic)
+}
+
+// Rebind implements Scheduler; baselines have no elastic path.
+func (b *baselineScheduler) Rebind(j *Job, vn, gpu int) error {
+	return fmt.Errorf("%s: rebind: %w", b.name, ErrNotElastic)
+}
+
+// Drain implements Scheduler; baselines cannot move a running job.
+func (b *baselineScheduler) Drain(gpu int) error {
+	return fmt.Errorf("%s: drain: %w", b.name, ErrNotElastic)
+}
 
 func adaptThreaded(s *baseline.ThreadedTF) baselineOps {
 	return baselineOps{addJob: s.AddJob, stopJob: s.StopJob}

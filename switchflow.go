@@ -125,6 +125,33 @@ func (s *Simulation) GPUMemoryUsed(i int) int64 {
 // Models lists the zoo's model names.
 func Models() []string { return models.Names() }
 
+// CPUDevice is the Placement.Device value selecting the CPU instead of a
+// GPU. Serving jobs may run CPU-only; training jobs may not.
+const CPUDevice = -1
+
+// Placement describes where a job runs: its primary device, migration
+// fallbacks, and — for elastic training jobs — the virtual nodes its
+// batch splits across. The zero value means "GPU 0, no fallbacks".
+type Placement struct {
+	// Device is the primary device: a GPU index, or CPUDevice.
+	Device int
+	// Fallbacks are migration targets in preference order (GPU indices).
+	Fallbacks []int
+	// AllowCPU appends the CPU as the last migration target.
+	AllowCPU bool
+	// VNodes, when non-empty, makes a training job elastic: one virtual
+	// node per listed GPU index (repeats time-multiplex a GPU), with batch
+	// shares sized to each device's throughput. VNodes[0] is the primary
+	// device; Device must match it or be left zero. Elastic jobs can be
+	// grown, shrunk, rebound, and drained at runtime without a restart.
+	VNodes []int
+}
+
+// isZero reports whether the placement was left entirely unset.
+func (p Placement) isZero() bool {
+	return p.Device == 0 && p.Fallbacks == nil && !p.AllowCPU && p.VNodes == nil
+}
+
 // JobSpec describes a DL job for any scheduler.
 type JobSpec struct {
 	// Name labels the job.
@@ -137,11 +164,21 @@ type JobSpec struct {
 	Train bool
 	// Priority orders jobs for SwitchFlow preemption (higher wins).
 	Priority int
+	// Placement says where the job runs (primary device, fallbacks,
+	// virtual nodes). It supersedes GPU/FallbackGPUs/FallbackCPU; setting
+	// both is rejected by Validate.
+	Placement Placement
 	// GPU is the preferred GPU index.
+	//
+	// Deprecated: set Placement.Device instead.
 	GPU int
 	// FallbackGPUs are migration targets in preference order.
+	//
+	// Deprecated: set Placement.Fallbacks instead.
 	FallbackGPUs []int
 	// FallbackCPU appends the CPU as the last migration target.
+	//
+	// Deprecated: set Placement.AllowCPU instead.
 	FallbackCPU bool
 	// ServeEvery sets an open-loop inference arrival period.
 	ServeEvery time.Duration
@@ -178,11 +215,79 @@ type JobSpec struct {
 // with errors.Is.
 var ErrInvalidJobSpec = errors.New("invalid job spec")
 
+// placement normalizes the spec's placement: the deprecated
+// GPU/FallbackGPUs/FallbackCPU shims lower into a Placement value, an
+// explicit Placement passes through (VNodes[0] filling an unset Device),
+// and mixing the two styles is rejected.
+func (spec JobSpec) placement() (Placement, error) {
+	if spec.Placement.isZero() {
+		return Placement{
+			Device:    spec.GPU,
+			Fallbacks: spec.FallbackGPUs,
+			AllowCPU:  spec.FallbackCPU,
+		}, nil
+	}
+	if spec.GPU != 0 || spec.FallbackGPUs != nil || spec.FallbackCPU {
+		return Placement{}, fmt.Errorf("%w: set either Placement or the deprecated GPU/FallbackGPUs/FallbackCPU fields, not both", ErrInvalidJobSpec)
+	}
+	p := spec.Placement
+	if len(p.VNodes) > 0 && p.Device == 0 {
+		p.Device = p.VNodes[0]
+	}
+	return p, nil
+}
+
+// validatePlacement checks an explicit (non-shim) Placement. The legacy
+// shim path keeps its original, looser checks so old specs behave
+// byte-identically.
+func (spec JobSpec) validatePlacement(p Placement) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidJobSpec, fmt.Sprintf(format, args...))
+	}
+	if p.Device < CPUDevice {
+		return fail("Placement.Device must be a GPU index or CPUDevice, got %d", p.Device)
+	}
+	if spec.Train && p.Device == CPUDevice && len(p.VNodes) == 0 {
+		return fail("training job %q cannot be placed CPU-only", spec.Name)
+	}
+	seen := map[int]bool{}
+	for _, g := range p.Fallbacks {
+		if g < 0 {
+			return fail("Placement fallback GPU index must be non-negative, got %d", g)
+		}
+		if g == p.Device {
+			return fail("Placement fallback GPU %d duplicates the primary device", g)
+		}
+		if seen[g] {
+			return fail("Placement fallback GPU %d listed twice", g)
+		}
+		seen[g] = true
+	}
+	if len(p.VNodes) == 0 {
+		return nil
+	}
+	if !spec.Train {
+		return fail("job %q: virtual nodes require a training job", spec.Name)
+	}
+	for _, g := range p.VNodes {
+		if g < 0 {
+			return fail("virtual node GPU index must be non-negative, got %d", g)
+		}
+	}
+	if p.Device != p.VNodes[0] {
+		return fail("Placement.Device %d must equal VNodes[0] %d (or be left zero)", p.Device, p.VNodes[0])
+	}
+	if len(p.VNodes) > spec.Batch {
+		return fail("%d virtual nodes exceed batch %d (each needs >= 1 sample)", len(p.VNodes), spec.Batch)
+	}
+	return nil
+}
+
 // Validate checks the spec's machine-independent invariants: a positive
-// batch, a known model, non-negative device indices, and a coherent
-// workload mode. AddJob validates automatically (adding a range check
-// against the simulation's machine); call Validate directly to check
-// specs before building anything.
+// batch, a known model, non-negative device indices, a coherent
+// placement, and a coherent workload mode. AddJob validates
+// automatically (adding a range check against the simulation's machine);
+// call Validate directly to check specs before building anything.
 func (spec JobSpec) Validate() error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("%w: %s", ErrInvalidJobSpec, fmt.Sprintf(format, args...))
@@ -193,13 +298,21 @@ func (spec JobSpec) Validate() error {
 	if _, err := models.ByName(spec.Model); err != nil {
 		return fail("%v", err)
 	}
-	if spec.GPU < 0 {
-		return fail("GPU index must be non-negative, got %d", spec.GPU)
+	p, err := spec.placement()
+	if err != nil {
+		return err
 	}
-	for _, g := range spec.FallbackGPUs {
-		if g < 0 {
-			return fail("fallback GPU index must be non-negative, got %d", g)
+	if spec.Placement.isZero() {
+		if spec.GPU < 0 {
+			return fail("GPU index must be non-negative, got %d", spec.GPU)
 		}
+		for _, g := range spec.FallbackGPUs {
+			if g < 0 {
+				return fail("fallback GPU index must be non-negative, got %d", g)
+			}
+		}
+	} else if err := spec.validatePlacement(p); err != nil {
+		return err
 	}
 	if spec.ServeEvery < 0 {
 		return fail("ServeEvery must be non-negative, got %v", spec.ServeEvery)
@@ -252,12 +365,24 @@ func (spec JobSpec) toConfig() (workload.Config, error) {
 	if spec.Train {
 		kind = workload.KindTraining
 	}
+	p, err := spec.placement()
+	if err != nil {
+		return workload.Config{}, err
+	}
+	dev := device.GPUID(p.Device)
+	if p.Device == CPUDevice {
+		dev = device.CPUID
+	}
 	var fallbacks []device.ID
-	for _, idx := range spec.FallbackGPUs {
+	for _, idx := range p.Fallbacks {
 		fallbacks = append(fallbacks, device.GPUID(idx))
 	}
-	if spec.FallbackCPU {
+	if p.AllowCPU {
 		fallbacks = append(fallbacks, device.CPUID)
+	}
+	var vnodes []device.ID
+	for _, idx := range p.VNodes {
+		vnodes = append(vnodes, device.GPUID(idx))
 	}
 	return workload.Config{
 		Name:            spec.Name,
@@ -265,8 +390,9 @@ func (spec JobSpec) toConfig() (workload.Config, error) {
 		Batch:           spec.Batch,
 		Kind:            kind,
 		Priority:        spec.Priority,
-		Device:          device.GPUID(spec.GPU),
+		Device:          dev,
 		Fallbacks:       fallbacks,
+		VNodes:          vnodes,
 		ArrivalEvery:    spec.ServeEvery,
 		PoissonArrivals: spec.PoissonArrivals,
 		ArrivalSeed:     spec.ArrivalSeed,
@@ -356,6 +482,19 @@ func (j *Job) SLOAttainment() float64 { return j.inner.ServingStats().Attainment
 
 // MeanBatch returns the average micro-batch size across all launches.
 func (j *Job) MeanBatch() float64 { return j.inner.ServingStats().MeanBatch() }
+
+// VNodes returns the job's current virtual-node count; legacy jobs
+// report their single implicit vnode.
+func (j *Job) VNodes() int { return j.inner.Binding().Len() }
+
+// Binding renders the job's current virtual-node binding with per-device
+// batch shares, e.g. "gpu:0(10)+gpu:1(22)". It reflects runtime grows,
+// shrinks, rebinds, drains, and fault healing.
+func (j *Job) Binding() string { return j.inner.Binding().String() }
+
+// Elastic reports whether the job was admitted with virtual nodes and
+// therefore supports Grow/Shrink/Rebind.
+func (j *Job) Elastic() bool { return j.inner.Elastic() }
 
 // Crashed reports whether the job died (e.g. OOM under a baseline).
 func (j *Job) Crashed() bool { return j.inner.Crashed() }

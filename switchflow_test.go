@@ -7,9 +7,29 @@ import (
 	"switchflow"
 )
 
+// newSwitchFlow builds the paper's scheduler, failing the test on error.
+func newSwitchFlow(t *testing.T, sim *switchflow.Simulation) *switchflow.SwitchFlowScheduler {
+	t.Helper()
+	sched, err := sim.NewSwitchFlowScheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// newPolicy builds a scheduler for the given policy, failing on error.
+func newPolicy(t *testing.T, sim *switchflow.Simulation, policy switchflow.Policy) switchflow.Scheduler {
+	t.Helper()
+	sched, err := sim.NewScheduler(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
 func TestPublicAPITrainingJob(t *testing.T) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched := newSwitchFlow(t, sim)
 	job, err := sched.AddJob(switchflow.JobSpec{
 		Name: "train", Model: "ResNet50", Batch: 16, Train: true, Priority: 1,
 	})
@@ -32,7 +52,7 @@ func TestPublicAPITrainingJob(t *testing.T) {
 
 func TestPublicAPIServingWithPreemption(t *testing.T) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched := newSwitchFlow(t, sim)
 	if _, err := sched.AddJob(switchflow.JobSpec{
 		Name: "train", Model: "VGG16", Batch: 32, Train: true, Priority: 1,
 	}); err != nil {
@@ -58,13 +78,13 @@ func TestPublicAPIServingWithPreemption(t *testing.T) {
 }
 
 func TestPublicAPIBaselines(t *testing.T) {
-	for _, build := range []func(*switchflow.Simulation) switchflow.Scheduler{
-		(*switchflow.Simulation).ThreadedTF,
-		(*switchflow.Simulation).TimeSlice,
-		(*switchflow.Simulation).MPS,
+	for _, policy := range []switchflow.Policy{
+		switchflow.PolicyThreadedTF,
+		switchflow.PolicyTimeSlice,
+		switchflow.PolicyMPS,
 	} {
 		sim := switchflow.NewSimulation(switchflow.V100Server())
-		sched := build(sim)
+		sched := newPolicy(t, sim, policy)
 		job, err := sched.AddJob(switchflow.JobSpec{
 			Name: "train", Model: "MobileNetV2", Batch: 16, Train: true,
 		})
@@ -84,7 +104,7 @@ func TestPublicAPIBaselines(t *testing.T) {
 
 func TestPublicAPISharedGroup(t *testing.T) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched := newSwitchFlow(t, sim)
 	spec := switchflow.JobSpec{Model: "ResNet50", Batch: 32, Saturated: true}
 	a, b := spec, spec
 	a.Name, b.Name = "m0", "m1"
@@ -105,7 +125,7 @@ func TestPublicAPISharedGroup(t *testing.T) {
 
 func TestPublicAPIMigration(t *testing.T) {
 	sim := switchflow.NewSimulation(switchflow.TwoGPUServer())
-	sched := sim.SwitchFlow()
+	sched := newSwitchFlow(t, sim)
 	low, err := sched.AddJob(switchflow.JobSpec{
 		Name: "low", Model: "ResNet50", Batch: 32, Train: true, Priority: 1,
 		GPU: 1, FallbackGPUs: []int{0}, FallbackCPU: true,
@@ -130,7 +150,7 @@ func TestPublicAPIMigration(t *testing.T) {
 
 func TestPublicAPIValidation(t *testing.T) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched := newSwitchFlow(t, sim)
 	if _, err := sched.AddJob(switchflow.JobSpec{Name: "x", Model: "NoSuchNet", Batch: 8}); err == nil {
 		t.Fatal("unknown model accepted")
 	}
@@ -152,7 +172,7 @@ func TestPublicAPIModelsList(t *testing.T) {
 func TestPublicAPIEagerAndFused(t *testing.T) {
 	run := func(eager, fuse bool) int {
 		sim := switchflow.NewSimulation(switchflow.V100Server())
-		sched := sim.ThreadedTF()
+		sched := newPolicy(t, sim, switchflow.PolicyThreadedTF)
 		job, err := sched.AddJob(switchflow.JobSpec{
 			Name: "t", Model: "DenseNet121", Batch: 32, Train: true,
 			Eager: eager, Fuse: fuse,
@@ -171,7 +191,7 @@ func TestPublicAPIEagerAndFused(t *testing.T) {
 
 func TestPublicAPIPoissonServing(t *testing.T) {
 	sim := switchflow.NewSimulation(switchflow.V100Server())
-	sched := sim.SwitchFlow()
+	sched := newSwitchFlow(t, sim)
 	job, err := sched.AddJob(switchflow.JobSpec{
 		Name: "s", Model: "ResNet50", Batch: 1,
 		ServeEvery: 100 * time.Millisecond, PoissonArrivals: true, ArrivalSeed: 9,
