@@ -13,7 +13,7 @@ STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
 .PHONY: all build vet lint test race bench bench-json bench-trajectory \
-	bench-smoke results examples trace install-lint-tools
+	bench-smoke fleet-smoke results examples trace install-lint-tools
 
 # The committed engine-performance baseline. Bump the number when a PR
 # intentionally moves the trajectory; `make bench-trajectory` regenerates
@@ -81,6 +81,21 @@ bench-trajectory:
 bench-smoke:
 	go run ./cmd/swbench -exp engine -bench-smoke -bench-label smoke \
 		-bench-out bench_smoke.json -bench-check $(BENCH_BASELINE)
+
+# CI smoke for the million-user fleet scenario, shrunk to a 30s window
+# and 100k clients (~10s wall serial): the three routing arms must be
+# byte-identical serial vs parallel, the autoscaled arms must actually
+# scale out on the flash crowd and back in on the trough, and they must
+# shed less than the static arm.
+fleet-smoke:
+	go run ./cmd/swbench -exp fleet -fleet-window 30s -clients 100000 -parallel 1 > fleet_serial.txt
+	go run ./cmd/swbench -exp fleet -fleet-window 30s -clients 100000 -parallel 8 > fleet_parallel.txt
+	cmp fleet_serial.txt fleet_parallel.txt
+	awk 'NR > 3 { rows++; \
+		if ($$2 == "false") staticShed = $$6; \
+		if ($$2 == "true" && ($$9 == 0 || $$10 == 0 || $$11 == 0 || $$12 == 0 || $$6 >= staticShed)) exit 1 } \
+		END { exit rows != 3 }' fleet_serial.txt
+	@echo "fleet-smoke OK"
 
 # Chrome trace-event artifact from the canned two-ResNet50 co-run on a
 # V100 (the switchflow cell). Open trace.json in https://ui.perfetto.dev.

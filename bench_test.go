@@ -165,17 +165,14 @@ func BenchmarkEagerVsStatic(b *testing.B) {
 	b.ReportMetric(row.FusedSpeedX, "fused-x")
 }
 
-func BenchmarkFleetPolicies(b *testing.B) {
+func BenchmarkFleetServing(b *testing.B) {
 	var rows []experiments.FleetRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fleet(15 * time.Second)
+		rows = experiments.Fleet(15*time.Second, 100_000)
 	}
 	for _, r := range rows {
-		switch r.Policy {
-		case "dedicate":
-			b.ReportMetric(r.TrainImgPS, "dedicate-img/s")
-		case "collocate":
-			b.ReportMetric(r.TrainImgPS, "collocate-img/s")
+		if r.Autoscaled {
+			b.ReportMetric(r.GoodputPS, r.Strategy+"-goodput/s")
 		}
 	}
 }

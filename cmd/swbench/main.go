@@ -34,6 +34,8 @@ func main() {
 		benchSmoke = flag.Bool("bench-smoke", false, "with -exp engine: CI-sized run (fewer iterations, smaller fleets)")
 		benchCheck = flag.String("bench-check", "", "with -exp engine: compare against this baseline JSON; exit 1 on >25% ratio regression")
 		benchLabel = flag.String("bench-label", "dev", "with -exp engine: label stored in the JSON artifact")
+		clients    = flag.Int("clients", 1_000_000, "with -exp fleet: simulated client population (aggregated, base rate stays fixed)")
+		fleetWin   = flag.Duration("fleet-window", 75*time.Second, "with -exp fleet: virtual horizon of the fleet scenario")
 	)
 	flag.Parse()
 	harness.SetParallelism(*parallel)
@@ -52,7 +54,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *iters, *requests); err != nil {
+	if err := run(*exp, *iters, *requests, *fleetWin, *clients); err != nil {
 		fmt.Fprintln(os.Stderr, "swbench:", err)
 		os.Exit(1)
 	}
@@ -88,7 +90,7 @@ func writeTrace(path string) error {
 	return fmt.Errorf("no switchflow cell in trace results")
 }
 
-func run(exp string, iters, requests int) error {
+func run(exp string, iters, requests int, fleetWin time.Duration, clients int) error {
 	all := map[string]func(){
 		"t1":       func() { table1() },
 		"f2":       func() { figure2() },
@@ -104,7 +106,7 @@ func run(exp string, iters, requests int) error {
 		"load":     func() { load(requests) },
 		"serving":  func() { serving() },
 		"eager":    func() { eager() },
-		"fleet":    func() { fleet() },
+		"fleet":    func() { fleet(fleetWin, clients) },
 		"chaos":    func() { chaos() },
 		"elastic":  func() { elastic() },
 	}
@@ -324,13 +326,18 @@ func elastic() {
 	}
 }
 
-func fleet() {
-	header("Fleet: dedicate-vs-collocate on a 2-node 4x V100 cluster")
-	fmt.Printf("%-12s %8s %8s %12s %12s %14s %10s\n",
-		"policy", "placed", "queued", "queue-wait s", "train img/s", "worst p95 ms", "SLO %")
-	for _, r := range experiments.Fleet(60 * time.Second) {
-		fmt.Printf("%-12s %8d %8d %12.1f %12.1f %14.1f %9.1f%%\n",
-			r.Policy, r.TrainingPlaced, r.TrainingQueued, r.MeanQueueDelayS,
-			r.TrainImgPS, r.WorstServeP95MS, r.SLOAttainPct)
+func fleet(window time.Duration, clients int) {
+	header(fmt.Sprintf(
+		"Fleet: million-user serving on 8 nodes / 16x V100 (%v window, %d clients, diurnal + 6x flash crowd)",
+		window, clients))
+	fmt.Printf("%-12s %-5s %9s %9s %7s %8s %9s %10s %4s %4s %4s %4s %5s %7s %9s %7s %7s %11s\n",
+		"strategy", "auto", "offered", "routed", "drop", "shed", "served", "goodput/s",
+		"out", "in", "shr", "grw", "repl", "gold%", "gold p99", "slvr%", "brnz%", "train img/s")
+	for _, r := range experiments.Fleet(window, clients) {
+		fmt.Printf("%-12s %-5v %9d %9d %7d %8d %9d %10.1f %4d %4d %4d %4d %5d %6.1f%% %9.1f %6.1f%% %6.1f%% %11.1f\n",
+			r.Strategy, r.Autoscaled, r.Offered, r.Routed, r.Dropped, r.Shed, r.Served,
+			r.GoodputPS, r.ScaleOuts, r.ScaleIns, r.Shrinks, r.Grows, r.FinalReplicas,
+			r.Gold.AttainPct, r.Gold.WorstP99MS, r.Silver.AttainPct, r.Bronze.AttainPct,
+			r.TrainImgPS)
 	}
 }

@@ -25,6 +25,15 @@
 //
 //	swrun -machine 2gpu -jobs train:ResNet50:16:1 -vnodes 0 \
 //	      -resize train-ResNet50=2@10s -drain 0@20s -for 60s
+//
+// The traffic flags replace the serve jobs' own arrival clocks with one
+// aggregate open-loop trace — a base rate shaped by a diurnal sinusoid
+// and flash-crowd spikes, split across the serve jobs by Zipf share in
+// listing order (the same generator the fleet experiment uses):
+//
+//	swrun -jobs serve:ResNet50:1:2,serve:VGG16:1:2 -traffic 200 \
+//	      -diurnal 60s/0.35 -spike 6@20s/3s/8s/4s \
+//	      -slo 200ms -max-batch 4 -batch-wait 2ms -for 60s
 package main
 
 import (
@@ -60,18 +69,27 @@ func main() {
 		vnodesFlag   = flag.String("vnodes", "", "split training jobs across these GPUs as virtual nodes, e.g. 0,1 (switchflow only)")
 		drainFlag    = flag.String("drain", "", "drain GPUs mid-run, as gpu@time[,gpu@time...] (e.g. 0@20s)")
 		resizeFlag   = flag.String("resize", "", "resize elastic jobs mid-run, as job=vnodes@time[,...] (e.g. train-ResNet50=2@10s)")
+		trafficRPS   = flag.Float64("traffic", 0, "drive serve jobs with an aggregate open-loop trace at this rps (0 = off)")
+		clientsFlag  = flag.Int("clients", 1_000_000, "client population the -traffic rate aggregates")
+		diurnalFlag  = flag.String("diurnal", "", "-traffic diurnal curve, as period/minFraction (e.g. 60s/0.35)")
+		spikeFlag    = flag.String("spike", "", "-traffic flash crowds, as mag@start/ramp/hold/decay[,...] (e.g. 6@20s/3s/8s/4s)")
+		trafficSeed  = flag.Int64("traffic-seed", 1, "seed for the -traffic arrival streams")
 	)
 	flag.Parse()
 	serving := servingOpts{
 		every: *serveEvery, poisson: *poisson, seed: *arrivalSeed,
 		slo: *slo, maxBatch: *maxBatch, batchWait: *batchWait,
 	}
+	traf := trafficOpts{
+		rps: *trafficRPS, clients: *clientsFlag, seed: *trafficSeed,
+		diurnal: *diurnalFlag, spikes: *spikeFlag,
+	}
 	var err error
 	if *scenarioFlag != "" {
 		err = runScenario(*scenarioFlag)
 	} else {
 		err = run(*machineFlag, *schedFlag, *jobsFlag, *window, *faultSeed, *loseGPU, *ckptEvery, serving,
-			*vnodesFlag, *drainFlag, *resizeFlag)
+			*vnodesFlag, *drainFlag, *resizeFlag, traf)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swrun:", err)
@@ -108,9 +126,77 @@ func (o servingOpts) apply(spec *switchflow.JobSpec) {
 	spec.SLO = o.slo
 }
 
+// trafficOpts hold the -traffic flag family; rps == 0 means the trace
+// generator is off and serve jobs keep their own arrival clocks.
+type trafficOpts struct {
+	rps     float64
+	clients int
+	seed    int64
+	diurnal string
+	spikes  string
+}
+
+func (o trafficOpts) enabled() bool { return o.rps > 0 }
+
+// request parses the flag strings into the control-plane traffic block.
+func (o trafficOpts) request() (control.TrafficRequest, error) {
+	req := control.TrafficRequest{RPS: o.rps, Clients: o.clients, Seed: o.seed}
+	if o.diurnal != "" {
+		periodStr, minStr, ok := strings.Cut(o.diurnal, "/")
+		if !ok {
+			return req, fmt.Errorf("-diurnal %q: want period/minFraction, e.g. 60s/0.35", o.diurnal)
+		}
+		period, err := time.ParseDuration(periodStr)
+		if err != nil {
+			return req, fmt.Errorf("-diurnal %q: bad period: %v", o.diurnal, err)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil {
+			return req, fmt.Errorf("-diurnal %q: bad min fraction: %v", o.diurnal, err)
+		}
+		req.DiurnalMillis = int(period / time.Millisecond)
+		req.DiurnalMin = min
+	}
+	for _, one := range strings.Split(o.spikes, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		magStr, rest, ok := strings.Cut(one, "@")
+		if !ok {
+			return req, fmt.Errorf("-spike %q: want mag@start/ramp/hold/decay, e.g. 6@20s/3s/8s/4s", one)
+		}
+		mag, err := strconv.ParseFloat(magStr, 64)
+		if err != nil {
+			return req, fmt.Errorf("-spike %q: bad magnitude: %v", one, err)
+		}
+		parts := strings.Split(rest, "/")
+		if len(parts) != 4 {
+			return req, fmt.Errorf("-spike %q: want mag@start/ramp/hold/decay", one)
+		}
+		var ds [4]time.Duration
+		for i, p := range parts {
+			if ds[i], err = time.ParseDuration(p); err != nil {
+				return req, fmt.Errorf("-spike %q: bad duration %q: %v", one, p, err)
+			}
+		}
+		req.Spikes = append(req.Spikes, control.SpikeRequest{
+			StartMillis: int(ds[0] / time.Millisecond),
+			RampMillis:  int(ds[1] / time.Millisecond),
+			HoldMillis:  int(ds[2] / time.Millisecond),
+			DecayMillis: int(ds[3] / time.Millisecond),
+			Magnitude:   mag,
+		})
+	}
+	return req, nil
+}
+
 func run(machineName, schedName, jobsSpec string, window time.Duration,
 	faultSeed int64, loseGPU string, ckptEvery time.Duration, serving servingOpts,
-	vnodesFlag, drainFlag, resizeFlag string) error {
+	vnodesFlag, drainFlag, resizeFlag string, traf trafficOpts) error {
+	if traf.enabled() && serving.every > 0 {
+		return fmt.Errorf("-traffic and -serve-every are mutually exclusive")
+	}
 	spec, err := machineSpec(machineName)
 	if err != nil {
 		return err
@@ -135,6 +221,8 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 	}
 
 	var jobs []*switchflow.Job
+	var tenantNames []string
+	var tenantJobs []*switchflow.Job
 	byName := make(map[string]*switchflow.Job)
 	for _, one := range strings.Split(jobsSpec, ",") {
 		js, err := parseJob(strings.TrimSpace(one))
@@ -142,6 +230,17 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 			return err
 		}
 		serving.apply(&js)
+		isTenant := traf.enabled() && !js.Train && !js.Saturated
+		if isTenant {
+			// The trace owns the clock: the job idles between Offer calls
+			// but keeps the batching/SLO policy from the serving flags.
+			js.ClosedLoop = false
+			js.ServeEvery = 0
+			js.PoissonArrivals = false
+			js.RequestDriven = true
+			js.MaxBatch = serving.maxBatch
+			js.BatchWait = serving.batchWait
+		}
 		if js.Train && len(vnodes) > 0 {
 			// Elastic placement replaces the legacy fields outright: the
 			// facade rejects specs that mix the two styles.
@@ -164,13 +263,36 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 		}
 		jobs = append(jobs, job)
 		byName[job.Name()] = job
+		if isTenant {
+			tenantNames = append(tenantNames, job.Name())
+			tenantJobs = append(tenantJobs, job)
+		}
 	}
 
 	ops, err := parseElasticOps(drainFlag, resizeFlag, byName)
 	if err != nil {
 		return err
 	}
-	if len(ops) > 0 {
+	var offered, admitted int
+	if traf.enabled() {
+		if len(ops) > 0 {
+			return fmt.Errorf("-traffic cannot be combined with -drain or -resize")
+		}
+		if len(tenantJobs) == 0 {
+			return fmt.Errorf("-traffic needs at least one serve job")
+		}
+		req, err := traf.request()
+		if err != nil {
+			return err
+		}
+		profile, err := req.Profile(tenantNames)
+		if err != nil {
+			return err
+		}
+		if offered, admitted, err = control.DriveTraffic(sim, tenantJobs, profile, window); err != nil {
+			return err
+		}
+	} else if len(ops) > 0 {
 		sf, ok := sched.(*switchflow.SwitchFlowScheduler)
 		if !ok {
 			return fmt.Errorf("-drain and -resize need the switchflow scheduler, not %s", sched.Name())
@@ -191,6 +313,10 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 	}
 
 	fmt.Printf("machine=%s scheduler=%s window=%v\n", spec.Name(), sched.Name(), window)
+	if traf.enabled() {
+		fmt.Printf("  traffic: rps=%g clients=%d offered=%d admitted=%d shed-at-admission=%d\n",
+			traf.rps, traf.clients, offered, admitted, offered-admitted)
+	}
 	for _, job := range jobs {
 		status := "ok"
 		if job.Crashed() {

@@ -82,14 +82,28 @@ type JobHandle struct {
 	// SubmittedAt and PlacedAt bound the queueing delay.
 	SubmittedAt time.Duration
 	PlacedAt    time.Duration
+
+	// stopped guards Stop against double-decrementing the node's load
+	// counters; it also marks the handle dead for the router.
+	stopped bool
 }
 
-// QueueDelay is the time the job waited for placement.
-func (h *JobHandle) QueueDelay() time.Duration {
+// QueueDelay is the time the job waited for placement; ok is false while
+// the job is still queued (an unplaced job has no delay to report — the
+// old -1ns sentinel silently poisoned summed statistics).
+func (h *JobHandle) QueueDelay() (time.Duration, bool) {
 	if !h.Placed {
-		return -1
+		return 0, false
 	}
-	return h.PlacedAt - h.SubmittedAt
+	return h.PlacedAt - h.SubmittedAt, true
+}
+
+// Stopped reports whether the job was halted via Cluster.Stop.
+func (h *JobHandle) Stopped() bool { return h.stopped }
+
+// live reports whether the handle can accept routed traffic.
+func (h *JobHandle) live() bool {
+	return h.Placed && !h.stopped && h.Job != nil && !h.Job.Crashed()
 }
 
 // Cluster places jobs onto nodes. Each node runs on its own engine; the
@@ -141,6 +155,16 @@ func (c *Cluster) RunUntil(t time.Duration) { c.group.RunUntil(t) }
 // RunFor is RunUntil relative to the current time.
 func (c *Cluster) RunFor(d time.Duration) { c.group.RunFor(d) }
 
+// Epoch returns the fleet's barrier stride.
+func (c *Cluster) Epoch() time.Duration { return c.group.Epoch() }
+
+// AtBarrier registers fn to run at every fleet epoch barrier, after the
+// cluster's own placement pass (hooks run in registration order). fn runs
+// with every node engine stopped at the barrier instant and may schedule
+// onto any node's engine at or after it — the front-end router and the
+// autoscaler live here.
+func (c *Cluster) AtBarrier(fn func(now time.Duration)) { c.group.AtBarrier(fn) }
+
 // Record attaches a recorder for the given kinds (all kinds when none are
 // given) to every node's bus. Call it before the fleet runs; Events
 // returns the merged streams.
@@ -180,8 +204,13 @@ func (c *Cluster) Submit(at time.Duration, cfg workload.Config) *JobHandle {
 }
 
 // barrier runs at every shard epoch boundary with all node engines
-// aligned at now: it releases due submissions in deterministic order.
+// aligned at now: it retries queued submissions (capacity may have freed
+// since they were rejected), then releases due submissions, both in
+// deterministic (time, submit-order) sequence. The queue holds jobs that
+// became due at earlier barriers, so retrying it first preserves the
+// global ordering.
 func (c *Cluster) barrier(now time.Duration) {
+	c.retry()
 	due := c.pending[:0:0]
 	kept := c.pending[:0]
 	for _, h := range c.pending {
@@ -217,10 +246,14 @@ func (c *Cluster) Placed() []*JobHandle {
 // Stop halts a placed job and retries queued placements (its memory is
 // retained until the job object is dropped; this models job completion
 // only approximately, so the retry mainly serves load-count policies).
+// A second Stop on the same handle is a no-op: without the guard it
+// would double-decrement the per-GPU load counters, driving them
+// negative and skewing LeastLoaded/Dedicate/Collocate forever after.
 func (c *Cluster) Stop(h *JobHandle) {
-	if !h.Placed {
+	if !h.Placed || h.stopped {
 		return
 	}
+	h.stopped = true
 	for _, n := range c.nodes {
 		if n.Name == h.Where.Node {
 			n.mgr.StopJob(h.Job)
@@ -228,6 +261,14 @@ func (c *Cluster) Stop(h *JobHandle) {
 			if h.Cfg.Kind == workload.KindTraining {
 				n.perGPU[h.Where.GPU].training--
 			}
+			break
+		}
+	}
+	// Drop the handle so Placed() reflects the jobs actually running.
+	for i, p := range c.placed {
+		if p == h {
+			c.placed = append(c.placed[:i], c.placed[i+1:]...)
+			break
 		}
 	}
 	c.retry()

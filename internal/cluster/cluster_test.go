@@ -45,8 +45,8 @@ func TestFirstFitPlacesSequentially(t *testing.T) {
 	if h1.Where.String() != "node0/gpu:0" || h2.Where.String() != "node0/gpu:0" {
 		t.Fatalf("placements %v, %v; want both on node0/gpu:0", h1.Where, h2.Where)
 	}
-	if h1.QueueDelay() != 0 {
-		t.Fatalf("queue delay %v, want 0", h1.QueueDelay())
+	if d, ok := h1.QueueDelay(); !ok || d != 0 {
+		t.Fatalf("queue delay %v (ok=%v), want 0", d, ok)
 	}
 }
 
@@ -90,8 +90,8 @@ func TestDedicateQueuesTrainingWhenFull(t *testing.T) {
 	if !queued.Placed {
 		t.Fatal("queued training not placed after a slot freed")
 	}
-	if queued.QueueDelay() <= 0 {
-		t.Fatalf("queue delay = %v, want positive", queued.QueueDelay())
+	if d, ok := queued.QueueDelay(); !ok || d <= 0 {
+		t.Fatalf("queue delay = %v (ok=%v), want positive", d, ok)
 	}
 }
 

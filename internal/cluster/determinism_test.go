@@ -116,7 +116,7 @@ func TestOffEpochSubmissionPlacesAtNextBarrier(t *testing.T) {
 	if h.PlacedAt != 10*time.Millisecond {
 		t.Fatalf("PlacedAt = %v, want next barrier 10ms", h.PlacedAt)
 	}
-	if h.QueueDelay() != 3*time.Millisecond {
-		t.Fatalf("QueueDelay = %v, want 3ms", h.QueueDelay())
+	if d, ok := h.QueueDelay(); !ok || d != 3*time.Millisecond {
+		t.Fatalf("QueueDelay = %v (ok=%v), want 3ms", d, ok)
 	}
 }

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"switchflow/internal/device"
+	"switchflow/internal/obs"
+	"switchflow/internal/traffic"
+	"switchflow/internal/workload"
+)
+
+// flatProfile is a spike-free constant-rate profile for router tests.
+func flatProfile(tenants int, rps float64) traffic.Profile {
+	return traffic.Profile{
+		Clients:      1000,
+		RPSPerClient: rps / 1000,
+		Tenants:      traffic.SyntheticTenants(tenants, 5),
+		Seed:         11,
+	}
+}
+
+func TestFrontendRoutesAndServes(t *testing.T) {
+	c := New(LeastLoaded{}, 2, device.ClassV100, device.ClassV100)
+	c.Record(obs.KindRoute)
+	gen, err := traffic.NewGenerator(flatProfile(2, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontend(c, gen, RouteHash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe.Start(1)
+	c.RunUntil(2 * time.Second)
+
+	if fe.Routed() < 40 {
+		t.Fatalf("routed %d requests in 2s at 40 rps", fe.Routed())
+	}
+	if fe.Dropped() != 0 {
+		t.Fatalf("dropped %d with live replicas", fe.Dropped())
+	}
+	served := 0
+	for _, svc := range fe.Services() {
+		served += svc.Counters().Served
+	}
+	if served == 0 {
+		t.Fatal("no requests served")
+	}
+	routes := 0
+	for _, e := range c.Events() {
+		if e.Kind != obs.KindRoute {
+			continue
+		}
+		routes++
+		if e.From != "hash" || e.Count <= 0 || e.Job == "" {
+			t.Fatalf("malformed Route event: %+v", e)
+		}
+	}
+	if routes == 0 {
+		t.Fatal("no Route events recorded")
+	}
+}
+
+// TestHashRingStability: adding a replica to the ring must remap only a
+// minority of keys and leave the rest stuck to their old replica.
+func TestHashRingStability(t *testing.T) {
+	mk := func(names ...string) []liveReplica {
+		var set []liveReplica
+		for _, n := range names {
+			set = append(set, liveReplica{h: &JobHandle{Cfg: workload.Config{Name: n}}})
+		}
+		return set
+	}
+	two := buildRing(mk("t0/r0", "t0/r1"))
+	three := buildRing(mk("t0/r0", "t0/r1", "t0/r2"))
+
+	moved, hits := 0, make([]int, 3)
+	const keys = 4096
+	for k := 0; k < keys; k++ {
+		key := uint64(k) * 0x9e3779b97f4a7c15 // spread sequential ints over the ring
+		before := two.lookup(key)
+		after := three.lookup(key)
+		hits[after]++
+		if after != 2 && after != before {
+			t.Fatalf("key %d moved between surviving replicas: %d -> %d", k, before, after)
+		}
+		if after == 2 {
+			moved++
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("%d/%d keys moved to the new replica, want a minority (~1/3)", moved, keys)
+	}
+	for i, h := range hits {
+		if h == 0 {
+			t.Fatalf("replica %d owns no keys", i)
+		}
+	}
+}
+
+func TestRouterDropsWithoutLiveReplica(t *testing.T) {
+	c := New(FirstFit{}, 1, device.ClassV100)
+	gen, err := traffic.NewGenerator(flatProfile(1, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontend(c, gen, RouteHash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe.Start(1)
+	c.RunUntil(time.Second)
+	svc := fe.Services()[0]
+	c.Stop(svc.Replicas()[0])
+	c.RunUntil(2 * time.Second)
+
+	if svc.Dropped() == 0 {
+		t.Fatal("no drops after the only replica was retired")
+	}
+	cnt := svc.Counters()
+	if cnt.Shed < svc.Dropped() {
+		t.Fatalf("Shed %d < Dropped %d; router drops must count as shed", cnt.Shed, svc.Dropped())
+	}
+	if cnt.Offered < cnt.Shed {
+		t.Fatalf("Offered %d < Shed %d", cnt.Offered, cnt.Shed)
+	}
+}
+
+// TestAutoscalerScalesOutOnShedAndInOnIdle drives one tenant through a
+// 20x flash crowd on a deliberately unbatched replica: the crowd must add
+// replicas (shed-rate signal) and the calm after it must remove them
+// (idle signal), with the registered elastic training job shrinking under
+// pressure and growing back.
+func TestAutoscalerScalesOutOnShedAndInOnIdle(t *testing.T) {
+	c := New(FirstFit{}, 1, device.ClassV100, device.ClassV100)
+	p := flatProfile(1, 20)
+	p.Spikes = []traffic.Spike{{
+		Start: time.Second, Ramp: 200 * time.Millisecond,
+		Hold: 2 * time.Second, Decay: 300 * time.Millisecond, Magnitude: 20,
+	}}
+	gen, err := traffic.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbatched replicas saturate near 150 req/s, so the 400 req/s crowd
+	// sheds hard while the 20 req/s baseline is comfortably idle.
+	fe, err := NewFrontend(c, gen, RouteLeastLoaded, func(tn traffic.Tenant) (workload.Config, error) {
+		cfg, err := DefaultServiceConfig(tn)
+		cfg.MaxBatch = 0
+		cfg.BatchWait = 0
+		return cfg, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler := fe.EnableAutoscaler(AutoscaleConfig{
+		Interval:    500 * time.Millisecond,
+		SustainUp:   2,
+		IdleRPS:     50,
+		SustainDown: 3,
+		MaxReplicas: 3,
+		Cooldown:    time.Second,
+	})
+	train, err := c.nodes[0].mgr.AddJob(workload.Config{
+		Name: "train-bg", Model: spec(t, "ResNet50"), Batch: 32,
+		Kind: workload.KindTraining, Priority: 1,
+		Device: device.GPUID(0),
+		VNodes: []device.ID{device.GPUID(0), device.GPUID(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler.RegisterElastic(c.nodes[0], train, 1, 2)
+
+	fe.Start(1)
+	c.RunUntil(9 * time.Second)
+
+	if scaler.ScaleOuts() == 0 {
+		t.Fatal("flash crowd produced no scale-out")
+	}
+	if scaler.ScaleIns() == 0 {
+		t.Fatal("post-crowd idle produced no scale-in")
+	}
+	if scaler.Shrinks() == 0 || scaler.Grows() == 0 {
+		t.Fatalf("elastic training did not flex: shrinks=%d grows=%d", scaler.Shrinks(), scaler.Grows())
+	}
+	svc := fe.Services()[0]
+	if svc.desired() >= 3 {
+		t.Fatalf("tenant still holds %d replicas after the idle tail", svc.desired())
+	}
+	if train.Binding().Len() != 2 {
+		t.Fatalf("elastic training ended at %d vnodes, want grown back to 2", train.Binding().Len())
+	}
+}

@@ -18,6 +18,10 @@ type Scenario struct {
 	DurationMillis int            `json:"durationMillis"`
 	Jobs           []JobRequest   `json:"jobs"`
 	Groups         [][]JobRequest `json:"groups,omitempty"`
+	// Traffic, when present, drives every non-training job with an
+	// open-loop trace instead of the jobs' own arrival clocks (their
+	// serveEvery/closedLoop/saturated settings are overridden).
+	Traffic *TrafficRequest `json:"traffic,omitempty"`
 }
 
 // ScenarioResult reports per-job outcomes of a scenario run.
@@ -28,6 +32,11 @@ type ScenarioResult struct {
 	Jobs        []JobInfo `json:"jobs"`
 	Preemptions int       `json:"preemptions"`
 	Migrations  int       `json:"migrations"`
+	// TrafficOffered/TrafficAdmitted summarize the open-loop trace when
+	// the scenario had a traffic block; the difference was shed at
+	// admission.
+	TrafficOffered  int `json:"trafficOffered,omitempty"`
+	TrafficAdmitted int `json:"trafficAdmitted,omitempty"`
 }
 
 // ParseScenario decodes a scenario from JSON.
@@ -82,17 +91,38 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 		sf = sched.(*switchflow.SwitchFlowScheduler)
 	}
 
+	// requestDriven rewrites a spec for trace-driven arrivals: the
+	// traffic block owns the clock, so the job must sit idle between
+	// Offer calls.
+	requestDriven := func(req JobRequest) switchflow.JobSpec {
+		s := req.ToSpec()
+		if sc.Traffic != nil && !req.Train {
+			s.ServeEvery = 0
+			s.ClosedLoop = false
+			s.Saturated = false
+			s.PoissonArrivals = false
+			s.RequestDriven = true
+		}
+		return s
+	}
+
 	type namedJob struct {
 		model string
 		job   *switchflow.Job
 	}
 	var jobs []namedJob
+	var tenantNames []string
+	var tenantJobs []*switchflow.Job
 	for _, req := range sc.Jobs {
-		job, err := sched.AddJob(req.ToSpec())
+		job, err := sched.AddJob(requestDriven(req))
 		if err != nil {
 			return ScenarioResult{}, err
 		}
 		jobs = append(jobs, namedJob{model: req.Model, job: job})
+		if sc.Traffic != nil && !req.Train {
+			tenantNames = append(tenantNames, job.Name())
+			tenantJobs = append(tenantJobs, job)
+		}
 	}
 	for _, groupReqs := range sc.Groups {
 		if sf == nil {
@@ -100,7 +130,7 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 		}
 		specs := make([]switchflow.JobSpec, len(groupReqs))
 		for i, req := range groupReqs {
-			specs[i] = req.ToSpec()
+			specs[i] = requestDriven(req)
 		}
 		group, err := sf.AddSharedGroup(specs)
 		if err != nil {
@@ -108,16 +138,34 @@ func RunScenario(sc Scenario) (ScenarioResult, error) {
 		}
 		for i, job := range group.Jobs() {
 			jobs = append(jobs, namedJob{model: groupReqs[i].Model, job: job})
+			if sc.Traffic != nil && !groupReqs[i].Train {
+				tenantNames = append(tenantNames, job.Name())
+				tenantJobs = append(tenantJobs, job)
+			}
 		}
 	}
 
 	window := time.Duration(sc.DurationMillis) * time.Millisecond
-	sim.RunFor(window)
+	var offered, admitted int
+	if sc.Traffic != nil {
+		profile, err := sc.Traffic.Profile(tenantNames)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		offered, admitted, err = DriveTraffic(sim, tenantJobs, profile, window)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+	} else {
+		sim.RunFor(window)
+	}
 
 	result := ScenarioResult{
-		Machine:   spec.Name(),
-		Scheduler: sched.Name(),
-		Window:    window.String(),
+		Machine:         spec.Name(),
+		Scheduler:       sched.Name(),
+		Window:          window.String(),
+		TrafficOffered:  offered,
+		TrafficAdmitted: admitted,
 	}
 	for i, nj := range jobs {
 		info := jobInfo(i+1, nj.model, nj.job)

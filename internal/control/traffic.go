@@ -1,0 +1,124 @@
+// Trace-driven traffic for single-machine runs: the same generator the
+// fleet router uses, mapped onto a scenario's serve jobs. Each serve job
+// becomes one tenant with a Zipf(1.1) share of the aggregate rate, and
+// every arrival is delivered at its exact virtual instant through the
+// job's normal admission control.
+package control
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"switchflow"
+	"switchflow/internal/traffic"
+)
+
+// TrafficRequest is the scenario JSON's "traffic" block: an aggregate
+// open-loop request stream spread over the scenario's serve jobs.
+type TrafficRequest struct {
+	// RPS is the aggregate base request rate across all serve jobs.
+	RPS float64 `json:"rps"`
+	// Clients is the simulated client population the rate aggregates
+	// (cosmetic for delivery, but it keys per-client routing affinity in
+	// fleet runs; defaults to 1_000_000).
+	Clients int `json:"clients,omitempty"`
+	// DiurnalMillis/DiurnalMin shape the compressed-day sinusoid (see
+	// traffic.Profile); zero disables it.
+	DiurnalMillis int     `json:"diurnalMillis,omitempty"`
+	DiurnalMin    float64 `json:"diurnalMin,omitempty"`
+	// Spikes are flash crowds layered on the base rate.
+	Spikes []SpikeRequest `json:"spikes,omitempty"`
+	// Seed decorrelates arrival streams between runs.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SpikeRequest is one flash crowd in scenario JSON.
+type SpikeRequest struct {
+	StartMillis int     `json:"startMillis"`
+	RampMillis  int     `json:"rampMillis"`
+	HoldMillis  int     `json:"holdMillis"`
+	DecayMillis int     `json:"decayMillis"`
+	Magnitude   float64 `json:"magnitude"`
+}
+
+// Profile converts the request into a traffic.Profile over n tenants
+// (one per serve job, Zipf(1.1) shares in listing order).
+func (r TrafficRequest) Profile(names []string) (traffic.Profile, error) {
+	if r.RPS <= 0 {
+		return traffic.Profile{}, fmt.Errorf("control: traffic rps must be positive, got %v", r.RPS)
+	}
+	if len(names) == 0 {
+		return traffic.Profile{}, fmt.Errorf("control: traffic block needs at least one request-driven serve job")
+	}
+	clients := r.Clients
+	if clients <= 0 {
+		clients = 1_000_000
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	tenants := make([]traffic.Tenant, len(names))
+	for i, name := range names {
+		tenants[i] = traffic.Tenant{
+			ID:     name,
+			Weight: 1 / math.Pow(float64(i+1), 1.1),
+			Seed:   seed + int64(i)*7919,
+		}
+	}
+	p := traffic.Profile{
+		Clients:       clients,
+		RPSPerClient:  r.RPS / float64(clients),
+		DiurnalPeriod: time.Duration(r.DiurnalMillis) * time.Millisecond,
+		DiurnalMin:    r.DiurnalMin,
+		Tenants:       tenants,
+		Seed:          seed,
+	}
+	for _, s := range r.Spikes {
+		p.Spikes = append(p.Spikes, traffic.Spike{
+			Start:     time.Duration(s.StartMillis) * time.Millisecond,
+			Ramp:      time.Duration(s.RampMillis) * time.Millisecond,
+			Hold:      time.Duration(s.HoldMillis) * time.Millisecond,
+			Decay:     time.Duration(s.DecayMillis) * time.Millisecond,
+			Magnitude: s.Magnitude,
+		})
+	}
+	return p, nil
+}
+
+// trafficStride is the generator window for single-machine delivery —
+// coarse enough to stay cheap, fine enough that the midpoint-rate
+// approximation tracks diurnal curves and spike ramps.
+const trafficStride = 100 * time.Millisecond
+
+// DriveTraffic generates the profile's arrivals over the window and
+// delivers each to its tenant's job at the exact arrival instant
+// (advancing the simulation between deliveries). jobs[i] receives tenant
+// i's stream. It returns offered/admitted counts; the remainder was shed
+// at admission.
+func DriveTraffic(sim *switchflow.Simulation, jobs []*switchflow.Job,
+	p traffic.Profile, window time.Duration) (offered, admitted int, err error) {
+	if len(jobs) != len(p.Tenants) {
+		return 0, 0, fmt.Errorf("control: %d jobs for %d tenants", len(jobs), len(p.Tenants))
+	}
+	gen, err := traffic.NewGenerator(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	for from := time.Duration(0); from < window; from += trafficStride {
+		to := from + trafficStride
+		if to > window {
+			to = window
+		}
+		for _, a := range gen.Batch(from, to) {
+			sim.RunUntil(a.At)
+			offered++
+			if jobs[a.Tenant].Offer() {
+				admitted++
+			}
+		}
+	}
+	sim.RunUntil(window)
+	return offered, admitted, nil
+}

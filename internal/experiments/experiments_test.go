@@ -349,33 +349,6 @@ func TestEagerModeOrdering(t *testing.T) {
 	}
 }
 
-func TestFleetCollocationBeatsDedication(t *testing.T) {
-	rows := Fleet(30 * time.Second)
-	byName := map[string]FleetRow{}
-	for _, r := range rows {
-		byName[r.Policy] = r
-	}
-	ded, col := byName["dedicate"], byName["collocate"]
-	// The status quo queues training (4 trainings on 4 GPUs leaves no
-	// training-free GPU; the dedicate policy admits at most as many
-	// trainings as empty GPUs remain after inference packing).
-	if ded.TrainingQueued == 0 {
-		t.Errorf("dedicate queued no training jobs: %+v", ded)
-	}
-	// SwitchFlow-enabled collocation places everything.
-	if col.TrainingQueued != 0 {
-		t.Errorf("collocate queued %d training jobs", col.TrainingQueued)
-	}
-	if col.TrainImgPS <= ded.TrainImgPS {
-		t.Errorf("collocate aggregate training %.1f img/s not above dedicate %.1f",
-			col.TrainImgPS, ded.TrainImgPS)
-	}
-	// And the services still hold their SLO while collocated.
-	if col.SLOAttainPct < 90 {
-		t.Errorf("collocate SLO attainment %.1f%%, want >= 90%%", col.SLOAttainPct)
-	}
-}
-
 func TestExperimentsAreDeterministic(t *testing.T) {
 	a := Figure6Cell("ResNet50", "MobileNetV2", 20)
 	b := Figure6Cell("ResNet50", "MobileNetV2", 20)

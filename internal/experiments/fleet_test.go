@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"switchflow/internal/harness"
+)
+
+// TestFleetScenario runs the million-user scenario once at a reduced
+// window and checks both halves of its contract: the rows are
+// byte-identical serial vs parallel (the sweep AND the per-node engines
+// inside each cell fan out), and the autoscaler demonstrably acts — out
+// on shed during the flash crowd, in on the idle trough after it.
+func TestFleetScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy cells; skipped in -short mode")
+	}
+	prev := harness.SetParallelism(1)
+	defer harness.SetParallelism(prev)
+
+	const window = 30 * time.Second
+	const clients = 100_000
+	serial := Fleet(window, clients)
+
+	harness.SetParallelism(8)
+	parallel := Fleet(window, clients)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Fleet rows differ from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+
+	if len(serial) != 3 {
+		t.Fatalf("got %d rows, want static + 2 autoscaled arms", len(serial))
+	}
+	static := serial[0]
+	if static.Autoscaled || static.ScaleOuts != 0 || static.ScaleIns != 0 ||
+		static.Shrinks != 0 || static.Grows != 0 {
+		t.Fatalf("static arm shows autoscaler actions: %+v", static)
+	}
+	for _, r := range serial {
+		if r.Nodes != 8 {
+			t.Fatalf("arm %s ran %d nodes, want 8", r.Strategy, r.Nodes)
+		}
+		if r.Clients != clients {
+			t.Fatalf("arm %s reports %d clients", r.Strategy, r.Clients)
+		}
+		if r.Offered != r.Routed+r.Dropped {
+			t.Fatalf("arm %s: offered %d != routed %d + dropped %d",
+				r.Strategy, r.Offered, r.Routed, r.Dropped)
+		}
+		if r.Served == 0 || r.GoodputPS <= 0 {
+			t.Fatalf("arm %s served nothing: %+v", r.Strategy, r)
+		}
+		if r.Gold.Tenants == 0 || r.Silver.Tenants == 0 || r.Bronze.Tenants == 0 {
+			t.Fatalf("arm %s missing a tier: %+v", r.Strategy, r)
+		}
+		if r.Gold.AttainPct <= 0 || r.Gold.WorstP99MS <= 0 {
+			t.Fatalf("arm %s has empty gold-tier stats: %+v", r.Strategy, r.Gold)
+		}
+		if r.TrainImgPS <= 0 {
+			t.Fatalf("arm %s background training made no progress", r.Strategy)
+		}
+	}
+	for _, r := range serial[1:] {
+		if !r.Autoscaled {
+			t.Fatalf("arm %s should be autoscaled", r.Strategy)
+		}
+		if r.ScaleOuts == 0 {
+			t.Fatalf("arm %s: flash crowd produced no scale-out", r.Strategy)
+		}
+		if r.ScaleIns == 0 {
+			t.Fatalf("arm %s: idle trough produced no scale-in", r.Strategy)
+		}
+		if r.Shrinks == 0 || r.Grows == 0 {
+			t.Fatalf("arm %s: elastic training did not flex (shr=%d grw=%d)",
+				r.Strategy, r.Shrinks, r.Grows)
+		}
+		if r.Shed >= static.Shed {
+			t.Fatalf("arm %s shed %d, not better than the static arm's %d",
+				r.Strategy, r.Shed, static.Shed)
+		}
+	}
+}

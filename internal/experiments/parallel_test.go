@@ -40,10 +40,10 @@ func TestParallelFleetMatchesSerial(t *testing.T) {
 	defer harness.SetParallelism(prev)
 
 	const window = 10 * time.Second
-	serial := Fleet(window)
+	serial := Fleet(window, 100_000)
 
 	harness.SetParallelism(8)
-	parallel := Fleet(window)
+	parallel := Fleet(window, 100_000)
 
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("parallel Fleet rows differ from serial:\nserial:   %+v\nparallel: %+v",

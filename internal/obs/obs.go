@@ -76,6 +76,20 @@ const (
 	// KindResize is a job's virtual-node set growing or shrinking; Name is
 	// "grow" or "shrink" and Count the new vnode count.
 	KindResize
+	// KindRoute is the fleet front-end assigning one epoch's worth of a
+	// tenant's requests to a replica: Job is the tenant id, Ctx/Device the
+	// replica's context and GPU, From the routing strategy, Count the
+	// number of requests routed (arrivals are aggregated per epoch so the
+	// trace stays proportional to epochs, not to millions of clients).
+	KindRoute
+	// KindScaleOut is the autoscaler adding a replica to a tenant's set on
+	// sustained shed rate; Job is the tenant id, Name the new replica's
+	// job name, Count the new replica count.
+	KindScaleOut
+	// KindScaleIn is the autoscaler retiring a replica on sustained idle;
+	// Job is the tenant id, Name the stopped replica's job name, Count the
+	// remaining replica count.
+	KindScaleIn
 
 	numKinds
 )
@@ -102,6 +116,9 @@ var kindNames = [numKinds]string{
 	KindBind:        "Bind",
 	KindRebind:      "Rebind",
 	KindResize:      "Resize",
+	KindRoute:       "Route",
+	KindScaleOut:    "ScaleOut",
+	KindScaleIn:     "ScaleIn",
 }
 
 // String returns the canonical name of the kind.

@@ -480,6 +480,36 @@ func (j *Job) StopArrivals() {
 	j.notify = nil
 }
 
+// Offer presents one externally generated request arrival — the fleet
+// front-end's trace-driven traffic — at the current virtual time. It runs
+// the same admission controller as the job's own arrival process (SLO
+// projection, shed accounting) and reports whether the request was
+// admitted. Only request-driven serving jobs accept offers.
+func (j *Job) Offer() bool {
+	if j.Cfg.Kind != KindServing || j.Cfg.Saturated {
+		return false
+	}
+	admitted := j.admitArrival(j.eng.Now())
+	if admitted && j.pumpHook != nil {
+		j.pumpHook()
+	}
+	return admitted
+}
+
+// ShedOffer counts one externally routed request that could not be
+// delivered as offered-and-shed, without running admission. The fleet
+// router binds arrivals one epoch ahead of delivery, so a scale-in or
+// crash can strand an already-scheduled request on a retired replica.
+func (j *Job) ShedOffer() {
+	j.bus.Emit(obs.Event{Kind: obs.KindShed, Ctx: j.Ctx, Job: j.Cfg.Name, Start: j.eng.Now()})
+}
+
+// OutstandingRequests counts admitted requests not yet completed — the
+// router's least-loaded signal.
+func (j *Job) OutstandingRequests() int {
+	return j.pending.Len() + j.inflight.Len() + j.ready.Len() + len(j.active)
+}
+
 // PendingRequests returns enqueued-but-unstarted request count.
 func (j *Job) PendingRequests() int { return j.pending.Len() }
 

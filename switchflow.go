@@ -188,6 +188,10 @@ type JobSpec struct {
 	// Saturated makes the inference job iterate with unbounded backlog
 	// (throughput measurement).
 	Saturated bool
+	// RequestDriven disables the job's own arrival clock entirely: every
+	// request arrives through Job.Offer (trace-driven traffic). Mutually
+	// exclusive with ServeEvery, ClosedLoop, and Saturated.
+	RequestDriven bool
 	// PoissonArrivals draws exponential inter-arrival times with mean
 	// ServeEvery (seeded by ArrivalSeed).
 	PoissonArrivals bool
@@ -330,8 +334,8 @@ func (spec JobSpec) Validate() error {
 		return fail("BatchWait needs MaxBatch > 1 to have a batch to wait for")
 	}
 	if spec.Train {
-		if spec.ServeEvery > 0 || spec.ClosedLoop || spec.Saturated || spec.PoissonArrivals {
-			return fail("training job %q must not set serving modes (ServeEvery/ClosedLoop/Saturated/PoissonArrivals)", spec.Name)
+		if spec.ServeEvery > 0 || spec.ClosedLoop || spec.Saturated || spec.PoissonArrivals || spec.RequestDriven {
+			return fail("training job %q must not set serving modes (ServeEvery/ClosedLoop/Saturated/PoissonArrivals/RequestDriven)", spec.Name)
 		}
 		if spec.SLO > 0 || spec.MaxBatch > 0 {
 			return fail("training job %q must not set serving SLO or MaxBatch", spec.Name)
@@ -350,8 +354,11 @@ func (spec JobSpec) Validate() error {
 	if spec.PoissonArrivals && spec.ServeEvery <= 0 {
 		return fail("PoissonArrivals needs ServeEvery as the mean inter-arrival time")
 	}
-	if spec.ServeEvery == 0 && !spec.ClosedLoop && !spec.Saturated {
-		return fail("serving job %q has no arrival process; set ServeEvery, ClosedLoop, or Saturated", spec.Name)
+	if spec.RequestDriven && (spec.ServeEvery > 0 || spec.ClosedLoop || spec.Saturated || spec.PoissonArrivals) {
+		return fail("RequestDriven takes arrivals only from Offer; do not set ServeEvery, ClosedLoop, Saturated, or PoissonArrivals")
+	}
+	if spec.ServeEvery == 0 && !spec.ClosedLoop && !spec.Saturated && !spec.RequestDriven {
+		return fail("serving job %q has no arrival process; set ServeEvery, ClosedLoop, Saturated, or RequestDriven", spec.Name)
 	}
 	return nil
 }
@@ -475,6 +482,13 @@ func (j *Job) ServingStats() ServingStats {
 
 // Shed returns how many requests admission control rejected.
 func (j *Job) Shed() int { return j.inner.ServingStats().Shed }
+
+// Offer presents one externally generated request to a request-driven
+// serving job at the current virtual time — the entry point for
+// trace-driven traffic (swrun -traffic, scenario "traffic" blocks). It
+// runs the job's normal admission control and reports whether the
+// request was accepted.
+func (j *Job) Offer() bool { return j.inner.Offer() }
 
 // SLOAttainment returns the percentage of served requests that met the
 // job's SLO; zero when nothing was served or no SLO is set.
