@@ -1,23 +1,30 @@
 // Command swlint runs the project's static-analysis suite: the custom
-// determinism and concurrency checks that keep the simulation replayable
-// (byte-identical serial vs -parallel sweeps) and the control plane
-// deadlock-free. See internal/analysis and docs/architecture.md
-// ("Determinism & concurrency invariants") for the rules.
+// determinism, concurrency, and flow-invariant checks that keep the
+// simulation replayable (byte-identical serial vs -parallel sweeps), the
+// control plane deadlock-free, and the fleet layer's conservation and
+// epoch invariants honest. See internal/analysis and
+// docs/architecture.md ("Determinism & concurrency invariants") for the
+// rules.
 //
 // Usage:
 //
-//	swlint [-run analyzer,...] [./...]
+//	swlint [-run analyzer,...] [-json] [./...]
 //	swlint -list
 //
 // swlint always analyzes the whole module (the only supported pattern is
 // ./..., accepted for muscle-memory compatibility with go vet). Findings
-// print in file:line:col: analyzer: message form; the exit status is 1
-// when any finding survives //swlint:allow suppression. Test files are
-// not analyzed: tests may use wall clock, goroutines, and literal seeds
-// freely.
+// print in file:line:col: analyzer: message form, or as a JSON array
+// with -json for machine consumption (CI problem matchers); the exit
+// status is 1 when any finding survives //swlint:allow suppression.
+// Full-suite runs also report allow directives that no longer suppress
+// anything, so stale suppressions cannot accumulate; -run subset runs
+// skip that check, since other analyzers' directives are legitimately
+// idle there. Test files are not analyzed: tests may use wall clock,
+// goroutines, and literal seeds freely.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,13 +37,14 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		run  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		run      = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonFlag = flag.Bool("json", false, "emit findings as a JSON array")
 	)
 	flag.Parse()
 	if *list {
 		for _, a := range suite.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -45,13 +53,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swlint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonFlag {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "swlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "swlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the machine-readable shape of one finding, stable for
+// CI consumers.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, findings []analysis.Finding) error {
+	out := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		out[i] = jsonFinding{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func lint(run string, args []string) ([]analysis.Finding, error) {
@@ -77,16 +118,15 @@ func lint(run string, args []string) ([]analysis.Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var findings []analysis.Finding
-	for _, p := range pkgs {
-		fs, err := analysis.Run(l.Fset(), p.Files, p.Types, p.Info, analyzers, suite.Names())
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
+	units := make([]*analysis.PackageUnit, len(pkgs))
+	for i, p := range pkgs {
+		units[i] = &analysis.PackageUnit{Path: p.Path, Files: p.Files, Pkg: p.Types, Info: p.Info}
 	}
-	analysis.SortFindings(findings)
-	return findings, nil
+	prog := analysis.NewProgram(l.Fset(), units)
+	// Unused-suppression reporting only makes sense when every analyzer
+	// ran: a subset run leaves other analyzers' directives idle.
+	reportUnused := run == ""
+	return analysis.RunProgram(prog, analyzers, suite.Names(), reportUnused)
 }
 
 func selectAnalyzers(run string) ([]*analysis.Analyzer, error) {

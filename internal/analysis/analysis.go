@@ -37,6 +37,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
+	// Collect, when non-nil, runs over every package of the program
+	// before any Run, exporting per-function facts (Pass.ExportFact) for
+	// the Run phase to import. Collect must not report diagnostics.
+	Collect func(*Pass) error
 	// Run performs the check on one package.
 	Run func(*Pass) error
 }
@@ -48,6 +52,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole-program view (call graph, facts). It is always
+	// non-nil under RunProgram; a bare Run gives each package a private
+	// single-package program.
+	Prog *Program
 
 	diagnostics []Diagnostic
 }
@@ -81,31 +89,73 @@ func (f Finding) String() string {
 		f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
 }
 
-// Run applies every analyzer to the package and returns the findings that
-// survive //swlint:allow suppression, plus findings for malformed
-// directives, sorted by position. known lists every analyzer name valid
-// in directives (usually the full suite, even when running a subset, so
-// suppressions for other analyzers are not reported as unknown).
+// Run applies every analyzer to one free-standing package and returns the
+// findings that survive //swlint:allow suppression, plus findings for
+// malformed directives, sorted by position. known lists every analyzer
+// name valid in directives. The package gets a private single-package
+// Program, so fact-based analyzers see just this package — whole-module
+// callers use RunProgram instead.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, known []string) ([]Finding, error) {
-	dirs, bad := CollectDirectives(fset, files, known)
-	findings := append([]Finding(nil), bad...)
+	path := ""
+	if pkg != nil {
+		path = pkg.Path()
+	}
+	prog := NewProgram(fset, []*PackageUnit{{
+		Path: path, Files: files, Pkg: pkg, Info: info,
+	}})
+	return RunProgram(prog, analyzers, known, false)
+}
+
+// RunProgram applies every analyzer to every package of the program:
+// first each analyzer's Collect phase over all packages (fact export),
+// then each Run, with //swlint:allow suppression applied per package.
+// known lists every analyzer name valid in directives (usually the full
+// suite, even when running a subset, so suppressions for other analyzers
+// are not reported as unknown). reportUnused additionally reports allow
+// directives that suppressed nothing — only sensible when running the
+// full suite, since a subset run leaves other analyzers' suppressions
+// legitimately idle.
+func RunProgram(prog *Program, analyzers []*Analyzer, known []string, reportUnused bool) ([]Finding, error) {
+	var findings []Finding
+	dirs := make([]*Directives, len(prog.Packages))
+	for i, u := range prog.Packages {
+		d, bad := CollectDirectives(prog.Fset, u.Files, known)
+		dirs[i] = d
+		findings = append(findings, bad...)
+	}
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+		if a.Collect == nil {
+			continue
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
-		}
-		for _, d := range pass.diagnostics {
-			pos := fset.Position(d.Pos)
-			if dirs.Suppressed(a.Name, pos) {
-				continue
+		for _, u := range prog.Packages {
+			pass := &Pass{
+				Analyzer: a, Fset: prog.Fset, Files: u.Files,
+				Pkg: u.Pkg, TypesInfo: u.Info, Prog: prog,
 			}
-			findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+			if err := a.Collect(pass); err != nil {
+				return nil, fmt.Errorf("%s: collect %s: %w", a.Name, u.Path, err)
+			}
+		}
+	}
+	for i, u := range prog.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a, Fset: prog.Fset, Files: u.Files,
+				Pkg: u.Pkg, TypesInfo: u.Info, Prog: prog,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
+			}
+			for _, d := range pass.diagnostics {
+				pos := prog.Fset.Position(d.Pos)
+				if dirs[i].Suppressed(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+			}
+		}
+		if reportUnused {
+			findings = append(findings, dirs[i].Unused()...)
 		}
 	}
 	SortFindings(findings)

@@ -51,7 +51,13 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	findings, err := analysis.Run(l.Fset(), p.Files, p.Types, p.Info, []*analysis.Analyzer{a}, []string{a.Name})
+	prog := analysis.NewProgram(l.Fset(), []*analysis.PackageUnit{{
+		Path: p.Path, Files: p.Files, Pkg: p.Types, Info: p.Info,
+	}})
+	// reportUnused is on: a testdata suppression that stops matching is a
+	// bug in the test, and it lets testdata assert the unused-suppression
+	// findings themselves (analyzer "directive").
+	findings, err := analysis.RunProgram(prog, []*analysis.Analyzer{a}, []string{a.Name}, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,393 @@
+package analysis
+
+// This file builds per-function control-flow graphs — the substrate for
+// the flow-aware analyzers (counterflow, obspair). The CFG is
+// deliberately small: basic blocks hold the statements and controlling
+// expressions in execution order, edges follow Go's structured control
+// flow (if/for/range/switch/select, break/continue/goto with labels,
+// return, panic). Function literals are NOT inlined: a literal is an
+// opaque value in its enclosing block, and analyzers that care build a
+// separate CFG for its body via ForEachFuncBody.
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: Nodes execute in order, then control moves to
+// one of Succs (none for the exit block or terminating blocks).
+type Block struct {
+	// Index is the block's position in CFG.Blocks (entry is 0, exit 1).
+	Index int
+	// Nodes are the statements and controlling expressions of the block,
+	// in execution order. Control statements contribute only their
+	// decision expression (an If contributes Cond, a Switch its Tag, a
+	// Range its operand); their nested bodies live in successor blocks,
+	// so walking every block's Nodes visits each source node exactly once.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of a single function body.
+type CFG struct {
+	// Entry is where the function starts; Exit is the single synthetic
+	// block every return (and the fall-off-the-end path) reaches.
+	Entry, Exit *Block
+	// Blocks lists every block, entry first, exit second, then body
+	// blocks in construction order. Blocks unreachable from Entry appear
+	// here too (dead code after return/break still parses).
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		} else {
+			// A goto to a label this builder did not see (should not
+			// happen in type-checked code); fail safe toward the exit.
+			b.edge(g.from, b.cfg.Exit)
+		}
+	}
+	return b.cfg
+}
+
+// loopFrame records the jump targets of one enclosing loop or switch.
+type loopFrame struct {
+	label      string // of the enclosing LabeledStmt, or ""
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames (break-only)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// pendingLabel is the label of a LabeledStmt whose statement is about
+	// to be built; loops consume it so `break L`/`continue L` resolve.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins a new block with an edge from pred and makes it
+// current.
+func (b *cfgBuilder) startBlock(pred *Block) *Block {
+	blk := b.newBlock()
+	b.edge(pred, blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminate ends the current path (return, branch, panic): control moved
+// elsewhere, so subsequent statements build into a fresh unreachable
+// block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// The label targets the start of the labeled statement: gotos
+		// jump here, and loops/switches consume it for break/continue.
+		target := b.startBlock(b.cur)
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		b.startBlock(cond)
+		b.stmts(s.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			b.startBlock(cond)
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		if s.Else != nil {
+			b.edge(elseEnd, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock(b.cur)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: post})
+		b.startBlock(head)
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.startBlock(b.cur)
+		after := b.newBlock()
+		b.edge(head, after) // the range may be empty
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head})
+		b.startBlock(head)
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			b.startBlock(head)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmts(cc.Body)
+			b.edge(b.cur, after)
+		}
+		// A select without a default and without cases never proceeds;
+		// with cases, one always fires eventually, so no head→after edge
+		// is needed — but an empty select must still terminate the path.
+		if len(s.Body.List) == 0 && !hasDefault {
+			b.edge(head, b.cfg.Exit)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.frameFor(s.Label, true); t != nil {
+				b.edge(b.cur, t)
+			}
+		case "continue":
+			if t := b.frameFor(s.Label, false); t != nil {
+				b.edge(b.cur, t)
+			}
+		case "goto":
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		case "fallthrough":
+			// Handled by switchClauses (the edge to the next case); the
+			// statement itself carries no other flow.
+			return
+		}
+		b.terminate()
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.edge(b.cur, b.cfg.Exit)
+				b.terminate()
+			}
+		}
+
+	default:
+		// Decl, assign, inc/dec, send, go, defer, empty: straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the case blocks of a switch or type switch.
+// allowFallthrough wires `fallthrough` edges between adjacent cases.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, allowFallthrough bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	// Pre-create the case blocks so fallthrough can target the successor.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && allowFallthrough && br.Tok.String() == "fallthrough" {
+				if i+1 < len(blocks) {
+					b.edge(b.cur, blocks[i+1])
+				}
+				b.terminate()
+				continue
+			}
+			b.stmt(s)
+		}
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// frameFor resolves a break/continue target, innermost first; wantBreak
+// selects the break target, otherwise the continue target.
+func (b *cfgBuilder) frameFor(label *ast.Ident, wantBreak bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if wantBreak {
+			return f.breakTo
+		}
+		if f.continueTo != nil {
+			return f.continueTo
+		}
+		if label != nil {
+			// `continue L` where L names a switch: ill-formed, but keep
+			// scanning outward rather than mis-wiring.
+			continue
+		}
+	}
+	return nil
+}
+
+// ForEachFuncBody calls fn once for every function body in the file: each
+// declared function and each function literal, with the literal NOT
+// revisited as part of its encloser (decl is the enclosing FuncDecl for
+// literals, or the declaration itself; it is nil for literals in
+// package-level variable initializers).
+func ForEachFuncBody(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	var enclosing *ast.FuncDecl
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			enclosing = n
+			fn(n, n.Body)
+			return true
+		case *ast.FuncLit:
+			fn(enclosing, n.Body)
+			return true
+		}
+		return true
+	}
+	for _, d := range f.Decls {
+		enclosing = nil
+		ast.Inspect(d, walk)
+	}
+}
+
+// InspectShallow walks n without descending into function literals — the
+// per-block node walk for analyzers that treat literal bodies as separate
+// scopes.
+func InspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil {
+			return true
+		}
+		if _, ok := child.(*ast.FuncLit); ok && child != n {
+			return false
+		}
+		return fn(child)
+	})
+}

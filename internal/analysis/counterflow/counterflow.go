@@ -1,0 +1,296 @@
+// Package counterflow checks conservation counters — integer variables
+// or fields that the package both increments and decrements in unit
+// steps, like `perGPU[g].jobs`, shard occupancy, or offered/routed
+// tallies. Such counters encode a resource invariant (every increment is
+// balanced by exactly one decrement), and the PR 8 `Cluster.Stop` bug
+// showed how it breaks: a repeated or looped decrement silently drives
+// the count negative and every later placement decision is wrong. Three
+// flow-aware checks over the per-function CFG:
+//
+//  1. Double decrement: a path (including loop back edges) that
+//     decrements the same counter expression twice with no intervening
+//     increment. The pre-PR-8 Stop body — decrementing inside a `range`
+//     loop with no break — is the canonical catch.
+//
+//  2. Unguarded decrement: an exported function that decrements a
+//     counter unconditionally on entry (no branch between the function's
+//     start and the decrement). Exported mutators can be called twice;
+//     without an idempotence guard the second call double-decrements.
+//
+//  3. Leaked increment: a path that increments a counter and then
+//     returns a non-nil error. The caller sees failure and will not undo
+//     the increment, so the resource leaks.
+package counterflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"switchflow/internal/analysis"
+)
+
+// Analyzer is the counterflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterflow",
+	Doc:  "conservation-counter flow: no double decrements, no unguarded exported decrements, no increments leaked on error returns",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	counters := pairedCounters(pass)
+	if len(counters) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.ForEachFuncBody(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkBody(pass, counters, decl, body)
+		})
+	}
+	return nil
+}
+
+// pairedCounters finds the conservation counters of the package: integer
+// variables (locals or fields) with at least one unit-step increment AND
+// one unit-step decrement somewhere in the package. One-directional
+// tallies (metrics that only go up) and bulk arithmetic (`-= n` memory
+// accounting) are not counters.
+func pairedCounters(pass *analysis.Pass) map[*types.Var]bool {
+	inc := map[*types.Var]bool{}
+	dec := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lhs, isDec, unit := counterStep(pass.TypesInfo, n); lhs != nil && unit {
+				if v := targetVar(pass.TypesInfo, lhs); v != nil && isInteger(v) {
+					if isDec {
+						dec[v] = true
+					} else {
+						inc[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	paired := map[*types.Var]bool{}
+	for v := range inc {
+		if dec[v] {
+			paired[v] = true
+		}
+	}
+	return paired
+}
+
+// counterStep recognizes an increment/decrement statement: x++/x--, or
+// x += c / x -= c. It returns the mutated expression, the direction, and
+// whether the step is the unit constant 1.
+func counterStep(info *types.Info, n ast.Node) (lhs ast.Expr, isDec, unit bool) {
+	switch s := n.(type) {
+	case *ast.IncDecStmt:
+		return s.X, s.Tok == token.DEC, true
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return nil, false, false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			unit := false
+			if tv, ok := info.Types[s.Rhs[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, exact := constant.Int64Val(tv.Value); exact && v == 1 {
+					unit = true
+				}
+			}
+			return s.Lhs[0], s.Tok == token.SUB_ASSIGN, unit
+		}
+	}
+	return nil, false, false
+}
+
+// targetVar resolves the variable or struct field a counter expression
+// ultimately names: `count` → count, `n.perGPU[g].jobs` → the jobs field.
+func targetVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return targetVar(info, x.X)
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+		v, _ := info.Defs[x].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+func isInteger(v *types.Var) bool {
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// flowState is the per-path fact set: counter expressions (by syntactic
+// key) decremented on some path since the last increment, and counter
+// expressions incremented on some path since the last decrement. Both
+// are may-sets (union join) — a violation on any path is a finding.
+type flowState struct {
+	deced map[string]bool
+	inced map[string]bool
+}
+
+// sortedKeys returns the map's keys in sorted order, so every iteration
+// below is deterministic (the suite dogfoods its own maporder rule).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s flowState) clone() flowState {
+	out := flowState{deced: map[string]bool{}, inced: map[string]bool{}}
+	for _, k := range sortedKeys(s.deced) {
+		out.deced[k] = true
+	}
+	for _, k := range sortedKeys(s.inced) {
+		out.inced[k] = true
+	}
+	return out
+}
+
+func joinState(a, b flowState) flowState {
+	out := a.clone()
+	for _, k := range sortedKeys(b.deced) {
+		out.deced[k] = true
+	}
+	for _, k := range sortedKeys(b.inced) {
+		out.inced[k] = true
+	}
+	return out
+}
+
+func equalState(a, b flowState) bool {
+	return equalSet(a.deced, b.deced) && equalSet(a.inced, b.inced)
+}
+
+func equalSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, k := range sortedKeys(a) {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkBody(pass *analysis.Pass, counters map[*types.Var]bool, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	cfg := analysis.NewCFG(body)
+	// step applies one block node to the state; report is nil during the
+	// fixpoint and non-nil during the single post-fixpoint reporting walk,
+	// so each violation is reported exactly once with converged IN states.
+	step := func(n ast.Node, st flowState, report bool) flowState {
+		if lhs, isDec, unit := counterStep(pass.TypesInfo, n); lhs != nil {
+			v := targetVar(pass.TypesInfo, lhs)
+			if v == nil || !counters[v] {
+				return st
+			}
+			key := types.ExprString(lhs)
+			st = st.clone()
+			if isDec {
+				if unit && st.deced[key] && report {
+					pass.Reportf(n.Pos(), "a path can decrement %s twice with no intervening increment (conservation counter goes negative)", key)
+				}
+				if unit {
+					st.deced[key] = true
+				}
+				delete(st.inced, key)
+			} else {
+				st.inced[key] = true
+				delete(st.deced, key)
+			}
+			return st
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && report {
+			checkErrorReturn(pass, ret, st)
+		}
+		return st
+	}
+	transfer := func(b *analysis.Block, in flowState) flowState {
+		st := in
+		for _, n := range b.Nodes {
+			st = step(n, st, false)
+		}
+		return st
+	}
+	entry := flowState{deced: map[string]bool{}, inced: map[string]bool{}}
+	in := analysis.Forward(cfg, entry, joinState, equalState, transfer)
+	for _, b := range cfg.Blocks {
+		st, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		for _, n := range b.Nodes {
+			st = step(n, st, true)
+		}
+	}
+	checkUnguarded(pass, counters, decl, cfg)
+}
+
+// checkErrorReturn reports counters incremented on a path that ends in a
+// non-nil error return: the caller sees failure and never balances the
+// increment.
+func checkErrorReturn(pass *analysis.Pass, ret *ast.ReturnStmt, st flowState) {
+	if len(ret.Results) == 0 || len(st.inced) == 0 {
+		return
+	}
+	last := ret.Results[len(ret.Results)-1]
+	tv, ok := pass.TypesInfo.Types[last]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return
+	}
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return
+	}
+	for _, k := range sortedKeys(st.inced) {
+		pass.Reportf(ret.Pos(), "error return leaks increment of %s (no decrement on this path); roll the counter back before returning", k)
+	}
+}
+
+// checkUnguarded reports a unit-step decrement of a paired counter on the
+// unconditional entry spine of an exported function: every call executes
+// it, so a repeated call double-decrements. An idempotence guard (any
+// branch before the decrement) clears the path.
+func checkUnguarded(pass *analysis.Pass, counters map[*types.Var]bool, decl *ast.FuncDecl, cfg *analysis.CFG) {
+	if decl == nil || !decl.Name.IsExported() {
+		return
+	}
+	b := cfg.Entry
+	visited := map[*analysis.Block]bool{}
+	for !visited[b] {
+		visited[b] = true
+		for _, n := range b.Nodes {
+			lhs, isDec, unit := counterStep(pass.TypesInfo, n)
+			if lhs == nil || !isDec || !unit {
+				continue
+			}
+			if v := targetVar(pass.TypesInfo, lhs); v != nil && counters[v] {
+				pass.Reportf(n.Pos(), "exported %s decrements %s unconditionally; add an idempotence guard so a repeated call cannot double-decrement", decl.Name.Name, types.ExprString(lhs))
+			}
+		}
+		if len(b.Succs) != 1 || b.Succs[0] == cfg.Exit {
+			return
+		}
+		b = b.Succs[0]
+	}
+}

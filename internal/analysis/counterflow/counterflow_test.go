@@ -1,0 +1,12 @@
+package counterflow_test
+
+import (
+	"testing"
+
+	"switchflow/internal/analysis/analysistest"
+	"switchflow/internal/analysis/counterflow"
+)
+
+func TestCounterflow(t *testing.T) {
+	analysistest.Run(t, counterflow.Analyzer, "counterflow")
+}

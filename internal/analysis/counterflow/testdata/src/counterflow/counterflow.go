@@ -1,0 +1,173 @@
+// Package counterflow is testdata: conservation-counter flow hazards.
+// The types mirror internal/cluster's shapes (perGPU load counters on
+// nodes, a placement handle) without importing it, since testdata
+// packages load in isolation.
+package counterflow
+
+import "errors"
+
+type gpuLoad struct {
+	jobs     int
+	training int
+}
+
+type placement struct {
+	Node string
+	GPU  int
+}
+
+type jobCfg struct{ Kind int }
+
+const kindTraining = 1
+
+type jobHandle struct {
+	Placed  bool
+	stopped bool
+	Where   placement
+	Cfg     jobCfg
+	Job     string
+}
+
+type manager struct{}
+
+func (manager) StopJob(string) {}
+
+type node struct {
+	Name   string
+	perGPU []gpuLoad
+	mgr    manager
+}
+
+type cluster struct {
+	nodes []*node
+}
+
+// tryPlace pairs the counters: increments balanced by Stop's decrements.
+func (c *cluster) tryPlace(h *jobHandle, n *node, gpu int) {
+	n.perGPU[gpu].jobs++
+	if h.Cfg.Kind == kindTraining {
+		n.perGPU[gpu].training++
+	}
+	h.Placed = true
+	h.Where = placement{Node: n.Name, GPU: gpu}
+}
+
+// StopPrePR8 is the pre-PR-8 Cluster.Stop body, verbatim in shape: no
+// stopped guard, no break, no placed removal. The loop back edge lets a
+// second iteration (or a second call) decrement the same counters again.
+func (c *cluster) StopPrePR8(h *jobHandle) {
+	if !h.Placed {
+		return
+	}
+	for _, n := range c.nodes {
+		if n.Name == h.Where.Node {
+			n.mgr.StopJob(h.Job)
+			n.perGPU[h.Where.GPU].jobs-- // want `decrement n\.perGPU\[h\.Where\.GPU\]\.jobs twice`
+			if h.Cfg.Kind == kindTraining {
+				n.perGPU[h.Where.GPU].training-- // want `decrement n\.perGPU\[h\.Where\.GPU\]\.training twice`
+			}
+		}
+	}
+}
+
+// StopFixed is the post-PR-8 shape: idempotence guard plus break, so no
+// path reaches the decrement twice.
+func (c *cluster) StopFixed(h *jobHandle) {
+	if !h.Placed || h.stopped {
+		return
+	}
+	h.stopped = true
+	for _, n := range c.nodes {
+		if n.Name == h.Where.Node {
+			n.mgr.StopJob(h.Job)
+			n.perGPU[h.Where.GPU].jobs--
+			if h.Cfg.Kind == kindTraining {
+				n.perGPU[h.Where.GPU].training--
+			}
+			break
+		}
+	}
+	h.Placed = false
+}
+
+// Release decrements with no guard at all: any caller invoking it twice
+// drives the counter negative. Exported, so the unguarded check fires.
+func (n *node) Release(gpu int) {
+	n.perGPU[gpu].jobs-- // want `exported Release decrements n\.perGPU\[gpu\]\.jobs unconditionally`
+}
+
+// release is the same body unexported: internal helpers may rely on
+// caller discipline, so only the exported surface is checked.
+func (n *node) release(gpu int) {
+	n.perGPU[gpu].jobs--
+}
+
+// Retire guards the decrement behind a branch, so a repeated call on an
+// already-retired handle is a no-op.
+func (n *node) Retire(h *jobHandle, gpu int) {
+	if h.stopped {
+		return
+	}
+	h.stopped = true
+	n.perGPU[gpu].jobs--
+}
+
+// sequentialDouble decrements twice on one straight-line path.
+func (n *node) sequentialDouble(gpu int) {
+	n.perGPU[gpu].jobs--
+	n.perGPU[gpu].jobs-- // want `decrement n\.perGPU\[gpu\]\.jobs twice`
+}
+
+// balancedPair re-increments between the decrements, so the count is
+// conserved on every path.
+func (n *node) balancedPair(gpu int) {
+	n.perGPU[gpu].jobs--
+	n.perGPU[gpu].jobs++
+	n.perGPU[gpu].jobs--
+}
+
+// place increments and then fails: the error return leaks the increment.
+func (n *node) place(gpu int, ok bool) error {
+	n.perGPU[gpu].jobs++
+	if !ok {
+		return errors.New("no capacity") // want `error return leaks increment of n\.perGPU\[gpu\]\.jobs`
+	}
+	return nil
+}
+
+// placeRollback undoes the increment before failing: clean.
+func (n *node) placeRollback(gpu int, ok bool) error {
+	n.perGPU[gpu].jobs++
+	if !ok {
+		n.perGPU[gpu].jobs--
+		return errors.New("no capacity")
+	}
+	return nil
+}
+
+// onlyUp is a one-directional tally, not a conservation counter: no
+// decrement anywhere in the package, so nothing fires.
+type metrics struct{ served int }
+
+func (m *metrics) Serve() {
+	m.served++
+	m.served++
+}
+
+// bulk arithmetic is accounting, not unit-step conservation: -= with a
+// non-unit step never pairs, so free-list style code stays clean.
+type mem struct{ free int }
+
+func (m *mem) Alloc(nb int) { m.free -= nb }
+func (m *mem) Free(nb int)  { m.free += nb }
+
+// Drain decrements inside a loop but breaks right after, mirroring the
+// fixed Stop: no path reaches the decrement twice.
+func (c *cluster) Drain(name string, gpu int) {
+	for _, n := range c.nodes {
+		if n.Name == name {
+			n.perGPU[gpu].jobs--
+			break
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+// Generic intraprocedural forward dataflow over a CFG. Analyzers supply
+// the lattice (join, equality) and the block transfer function; Forward
+// iterates a worklist to the fixpoint and returns each reachable block's
+// IN state. Blocks unreachable from the entry get no state and should not
+// be reported on — dead code cannot execute, so it cannot violate a flow
+// invariant.
+
+// Forward computes the fixpoint of a forward dataflow problem.
+//
+//   - entry is the state on function entry.
+//   - join merges two states at a control-flow merge; it must be
+//     commutative and associative (the analysis result must not depend on
+//     edge order) and must not mutate its arguments.
+//   - equal detects convergence.
+//   - transfer applies one block's effects to a state; it must not mutate
+//     its input (return a fresh or copied state).
+func Forward[S any](c *CFG, entry S, join func(a, b S) S, equal func(a, b S) bool, transfer func(b *Block, in S) S) map[*Block]S {
+	in := make(map[*Block]S, len(c.Blocks))
+	in[c.Entry] = entry
+	// The worklist is a queue of block indices; seen tracks membership so
+	// a block queues at most once per change.
+	queued := make([]bool, len(c.Blocks))
+	worklist := []*Block{c.Entry}
+	queued[c.Entry.Index] = true
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		queued[b.Index] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			next := out
+			if ok {
+				next = join(cur, out)
+				if equal(next, cur) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				worklist = append(worklist, s)
+			}
+		}
+	}
+	return in
+}

@@ -18,6 +18,10 @@ type allowDirective struct {
 	// and the following line when the comment stands alone.
 	lines [2]int
 	file  string
+	pos   token.Position
+	// used flips when the directive suppresses at least one finding; a
+	// directive that never fires is stale and is itself reported.
+	used bool
 }
 
 // Directives indexes the allow directives of one package.
@@ -72,6 +76,7 @@ func CollectDirectives(fset *token.FileSet, files []*ast.File, known []string) (
 					reason:   reason,
 					lines:    [2]int{line, line + 1},
 					file:     fset.Position(c.Pos()).Filename,
+					pos:      fset.Position(c.Pos()),
 				})
 			}
 		}
@@ -80,15 +85,37 @@ func CollectDirectives(fset *token.FileSet, files []*ast.File, known []string) (
 }
 
 // Suppressed reports whether a finding by the named analyzer at pos is
-// covered by an allow directive.
+// covered by an allow directive, marking every covering directive used.
 func (d *Directives) Suppressed(analyzer string, pos token.Position) bool {
-	for _, a := range d.allows {
+	hit := false
+	for i := range d.allows {
+		a := &d.allows[i]
 		if a.analyzer != analyzer || a.file != pos.Filename {
 			continue
 		}
 		if pos.Line == a.lines[0] || pos.Line == a.lines[1] {
-			return true
+			a.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// Unused returns one finding per allow directive that suppressed nothing,
+// so stale suppressions cannot silently accumulate. Only meaningful after
+// the full suite has run (a subset run legitimately leaves other
+// analyzers' directives idle).
+func (d *Directives) Unused() []Finding {
+	var out []Finding
+	for _, a := range d.allows {
+		if a.used {
+			continue
+		}
+		out = append(out, Finding{
+			Position: a.pos,
+			Analyzer: "directive",
+			Message:  "unused suppression: //swlint:allow " + a.analyzer + " no longer matches any finding; delete it",
+		})
+	}
+	return out
 }

@@ -1,0 +1,216 @@
+// Package epochsafe checks that placement and binding state moves only
+// at epoch boundaries. The reproduction's fleet layer mutates shared
+// scheduling state — `Cluster.placed/queue/pending`, `Node.perGPU`,
+// `Service.replicas`, vnode bindings via `Job.SetBinding` — and its
+// determinism story requires every such mutation to happen inside a
+// barrier hook (a function registered with AtBarrier) or inside
+// pending-op application (`queueOp` → `applyPendingOps`), where the
+// single-threaded epoch step owns the world. A mutation in a function
+// not reachable from any of those safe roots can interleave with an
+// epoch in progress and is a finding.
+//
+// The analysis is call-graph based: the Collect phase records, for every
+// package, the functions registered as barrier hooks or queued as
+// pending ops (function literals fold into their enclosing declaration);
+// Run then flags protected-state mutations in any function outside the
+// transitive closure of those roots. Constructors (New*) are exempt —
+// they build state no epoch can see yet.
+package epochsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"switchflow/internal/analysis"
+)
+
+// Analyzer is the epochsafe check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "epochsafe",
+	Doc:     "placement/binding state mutates only inside barrier hooks or pending-op application",
+	Collect: collect,
+	Run:     run,
+}
+
+// protectedFields maps a type name to the fields whose mutation is
+// epoch-gated. Matching is by name so the rule reads the same in the
+// real packages and in isolated testdata.
+var protectedFields = map[string]map[string]bool{
+	"Cluster": {"placed": true, "queue": true, "pending": true},
+	"Node":    {"perGPU": true},
+	"Service": {"replicas": true},
+}
+
+// protectedCalls are methods that rebind placement state wholesale.
+var protectedCalls = map[string]bool{
+	"SetBinding": true,
+}
+
+// registrars are the calls whose function-valued arguments become safe
+// roots: AtBarrier installs a barrier hook, queueOp defers the op to
+// pending-op application at the next barrier.
+var registrars = map[string]bool{
+	"AtBarrier": true,
+	"queueOp":   true,
+}
+
+// safeNames are functions that ARE the epoch machinery regardless of how
+// they are reached.
+var safeNames = map[string]bool{
+	"applyPendingOps": true,
+	"barrier":         true,
+}
+
+// seedFact marks a function as a safe root.
+type seedFact struct{}
+
+func collect(pass *analysis.Pass) error {
+	export := func(fn *types.Func) {
+		if fn != nil {
+			pass.ExportFact(fn, seedFact{})
+		}
+	}
+	for _, f := range pass.Files {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+				if n.Body != nil && safeNames[n.Name.Name] {
+					fn, _ := pass.TypesInfo.Defs[n.Name].(*types.Func)
+					export(fn)
+				}
+			case *ast.CallExpr:
+				if calleeName(n) == "" || !registrars[calleeName(n)] {
+					return true
+				}
+				for _, arg := range n.Args {
+					switch arg := arg.(type) {
+					case *ast.FuncLit:
+						// Literal hooks fold into their encloser in the
+						// call graph, so the encloser is the root.
+						if enclosing != nil {
+							fn, _ := pass.TypesInfo.Defs[enclosing.Name].(*types.Func)
+							export(fn)
+						}
+					case *ast.Ident:
+						fn, _ := pass.TypesInfo.Uses[arg].(*types.Func)
+						export(fn)
+					case *ast.SelectorExpr:
+						fn, _ := pass.TypesInfo.Uses[arg.Sel].(*types.Func)
+						export(fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) error {
+	safe := pass.Prog.ReachableFrom(pass.FactFuncs())
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil || safe[fn] || exemptDecl(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// exemptDecl: constructors build fresh state invisible to the epoch loop.
+func exemptDecl(fd *ast.FuncDecl) bool {
+	return strings.HasPrefix(fd.Name.Name, "New") || fd.Name.Name == "init"
+}
+
+// checkFunc flags protected mutations in a function outside the safe
+// closure. The whole declaration is scanned, literals included — a
+// literal's mutations execute with its encloser's (unsafe) provenance.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if typ, field, ok := protectedTarget(pass.TypesInfo, lhs); ok {
+					pass.Reportf(lhs.Pos(), "%s mutates %s.%s outside a barrier hook or pending-op application", fd.Name.Name, typ, field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if typ, field, ok := protectedTarget(pass.TypesInfo, n.X); ok {
+				pass.Reportf(n.Pos(), "%s mutates %s.%s outside a barrier hook or pending-op application", fd.Name.Name, typ, field)
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if protectedCalls[name] {
+				pass.Reportf(n.Pos(), "%s calls %s outside a barrier hook or pending-op application", fd.Name.Name, name)
+			}
+			// delete(c.placed, k) and append-to-field both appear as
+			// calls; delete's first arg is the mutated map.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if typ, field, ok := protectedTarget(pass.TypesInfo, n.Args[0]); ok {
+					pass.Reportf(n.Pos(), "%s mutates %s.%s outside a barrier hook or pending-op application", fd.Name.Name, typ, field)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// protectedTarget reports whether e is (or indexes into) a protected
+// field of a protected type, returning the type and field names.
+func protectedTarget(info *types.Info, e ast.Expr) (string, string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			field := x.Sel.Name
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				typ := namedName(tv.Type)
+				if fields, ok := protectedFields[typ]; ok && fields[field] {
+					return typ, field, true
+				}
+			}
+			// `n.perGPU[0].jobs` mutates an element inside the protected
+			// collection: keep descending toward the base.
+			e = x.X
+		default:
+			return "", "", false
+		}
+	}
+}
+
+// namedName unwraps pointers and returns the named type's name.
+func namedName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package epochsafe_test
+
+import (
+	"testing"
+
+	"switchflow/internal/analysis/analysistest"
+	"switchflow/internal/analysis/epochsafe"
+)
+
+func TestEpochsafe(t *testing.T) {
+	analysistest.Run(t, epochsafe.Analyzer, "epochsafe")
+}

@@ -1,0 +1,109 @@
+// Package epochsafe is testdata: placement/binding state must move only
+// inside barrier hooks or pending-op application. Type and field names
+// mirror the real fleet layer (Cluster.placed/queue, Node.perGPU,
+// Service.replicas) without importing it.
+package epochsafe
+
+type gpuLoad struct{ jobs int }
+
+type Node struct {
+	perGPU []gpuLoad
+}
+
+type handle struct{ name string }
+
+type Cluster struct {
+	placed map[string]*handle
+	queue  []*handle
+	hooks  []func(int64)
+}
+
+type Service struct {
+	replicas []string
+}
+
+type binding struct{ dev int }
+
+type job struct{ b binding }
+
+func (j *job) SetBinding(b binding) { j.b = b }
+
+// AtBarrier registers a hook to run at every epoch boundary.
+func (c *Cluster) AtBarrier(hook func(int64)) {
+	c.hooks = append(c.hooks, hook)
+}
+
+// NewCluster builds fresh state no epoch can see yet: constructors are
+// exempt.
+func NewCluster() *Cluster {
+	c := &Cluster{}
+	c.placed = map[string]*handle{}
+	return c
+}
+
+// retire is registered as a barrier hook below, so its mutations — and
+// those of everything it calls — are epoch-safe.
+func (c *Cluster) retire(now int64) {
+	delete(c.placed, "old")
+	c.dropQueued()
+}
+
+// dropQueued is reachable from the hook: safe by closure.
+func (c *Cluster) dropQueued() {
+	c.queue = c.queue[:0]
+}
+
+func (c *Cluster) wire() {
+	c.AtBarrier(c.retire)
+	c.AtBarrier(func(now int64) {
+		// A literal hook folds into its encloser, so wire's own
+		// mutations are safe too.
+		c.placed["x"] = &handle{}
+	})
+}
+
+// Evict mutates placement state but is reachable from no barrier hook:
+// every mutation is a finding.
+func (c *Cluster) Evict(name string) {
+	delete(c.placed, name)             // want `Evict mutates Cluster\.placed outside a barrier hook`
+	c.queue = append(c.queue, &handle{ // want `Evict mutates Cluster\.queue outside a barrier hook`
+		name: name,
+	})
+}
+
+// Rebalance touches Node and Service state from outside the epoch
+// machinery.
+func Rebalance(n *Node, s *Service, j *job) {
+	n.perGPU[0].jobs++                   // want `Rebalance mutates Node\.perGPU outside a barrier hook`
+	s.replicas = append(s.replicas, "r") // want `Rebalance mutates Service\.replicas outside a barrier hook`
+	j.SetBinding(binding{dev: 1})        // want `Rebalance calls SetBinding outside a barrier hook`
+	n.perGPU[0] = gpuLoad{jobs: 0}       // want `Rebalance mutates Node\.perGPU outside a barrier hook`
+}
+
+// pendingOp machinery: ops queued through queueOp apply at the barrier,
+// so the queuing function is a safe root.
+type op func()
+
+var pending []op
+
+func queueOp(o op) { pending = append(pending, o) }
+
+func applyPendingOps() {
+	for _, o := range pending {
+		o()
+	}
+	pending = pending[:0]
+}
+
+// grow queues its mutation as a pending op: safe.
+func grow(s *Service) {
+	queueOp(func() {
+		s.replicas = append(s.replicas, "r")
+	})
+}
+
+// reads are never findings, only mutations.
+func Peek(c *Cluster, name string) bool {
+	_, ok := c.placed[name]
+	return ok && len(c.queue) == 0
+}

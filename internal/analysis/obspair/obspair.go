@@ -1,0 +1,409 @@
+// Package obspair checks that state transitions and their observability
+// events stay paired. The reproduction's traces are the ground truth for
+// every experiment — sweep comparisons, preemption-latency CDFs, fault
+// timelines — so a transition that happens without its event silently
+// corrupts results, and an event kind whose partner never fires breaks
+// every pairing-based analysis (Preempt↔Resume spans, Checkpoint↔Restore
+// recovery accounting, FaultInject↔heal-or-JobLost outcomes). Three
+// checks, all name-based so they read the same in the real tree and in
+// isolated testdata:
+//
+//  1. Emit-before-transition, on all paths: a call to `Run.Suspend` must
+//     be preceded by a KindPreempt emission on every path through the
+//     calling function, and `Run.Resume` by KindResume. A must-analysis
+//     over the CFG; emissions inside called helpers count (transitive
+//     may-emit closure over the call graph).
+//
+//  2. Paired recovery events: a function that calls `Job.Crash` must
+//     (possibly via helpers) emit KindJobLost; one that calls
+//     `Job.RollbackToCheckpoint` or `Job.Restarted` must emit
+//     KindRestore. These are function-level: the event may follow the
+//     call.
+//
+//  3. Partner-kind existence: a package that emits one side of a paired
+//     kind (Preempt/Resume, Checkpoint/Restore, FaultInject needing
+//     JobLost, Restore, or Rebind) in a program where nothing emits the
+//     partner indicates the pairing was never wired up.
+//
+// Methods calling sibling methods of their own type (workload-internal
+// plumbing) are exempt: the pairing obligation sits with the scheduler
+// that drives the transition, not inside the state object. Packages that
+// emit no events at all (the no-instrumentation baselines) are exempt
+// from checks 1–2.
+package obspair
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"switchflow/internal/analysis"
+)
+
+// Analyzer is the obspair check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "obspair",
+	Doc:     "state transitions emit their obs events, and paired kinds pair on all paths",
+	Collect: collect,
+	Run:     run,
+}
+
+// emitFact is the set of kind names (without the Kind prefix) a function
+// emits directly.
+type emitFact map[string]bool
+
+// transitions maps a transition method, identified by receiver type name
+// and method name, to the kind that must be emitted before the call on
+// every path.
+var transitions = map[[2]string]string{
+	{"Run", "Suspend"}: "Preempt",
+	{"Run", "Resume"}:  "Resume",
+}
+
+// pairedCalls maps a recovery method to the kind the calling function
+// must emit somewhere (before or after the call).
+var pairedCalls = map[[2]string]string{
+	{"Job", "Crash"}:                "JobLost",
+	{"Job", "RollbackToCheckpoint"}: "Restore",
+	{"Job", "Restarted"}:            "Restore",
+}
+
+// partners lists, for each kind, the kinds any of which completes the
+// pair program-wide.
+var partners = map[string][]string{
+	"Preempt":     {"Resume"},
+	"Resume":      {"Preempt"},
+	"Checkpoint":  {"Restore"},
+	"Restore":     {"Checkpoint"},
+	"FaultInject": {"JobLost", "Restore", "Rebind"},
+}
+
+func collect(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			emits := emitFact{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if k, ok := emittedKind(n); ok {
+					emits[k] = true
+				}
+				return true
+			})
+			if len(emits) > 0 {
+				pass.ExportFact(fn, emits)
+			}
+		}
+	}
+	return nil
+}
+
+// emittedKind recognizes an event emission: a composite literal with a
+// `Kind: KindX` (or `Kind: obs.KindX`) element, returning "X".
+func emittedKind(n ast.Node) (string, bool) {
+	kv, ok := n.(*ast.KeyValueExpr)
+	if !ok {
+		return "", false
+	}
+	key, ok := kv.Key.(*ast.Ident)
+	if !ok || key.Name != "Kind" {
+		return "", false
+	}
+	name := ""
+	switch v := kv.Value.(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	}
+	if !strings.HasPrefix(name, "Kind") || len(name) == len("Kind") {
+		return "", false
+	}
+	return name[len("Kind"):], true
+}
+
+func run(pass *analysis.Pass) error {
+	closure := emitClosures(pass)
+	pkgEmits := map[string]bool{}
+	var firstEmit map[string]ast.Node
+	progEmits := map[string]bool{}
+	for _, fn := range pass.Prog.Funcs() {
+		if fact, ok := pass.ImportFact(fn); ok {
+			for _, k := range sortedKeys(fact.(emitFact)) {
+				progEmits[k] = true
+			}
+		}
+	}
+	firstEmit = map[string]ast.Node{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if k, ok := emittedKind(n); ok {
+				pkgEmits[k] = true
+				if firstEmit[k] == nil {
+					firstEmit[k] = n
+				}
+			}
+			return true
+		})
+	}
+	// Partner-existence check runs even for single-emission packages;
+	// the flow checks only where the package participates in tracing.
+	for _, k := range sortedKeys(pkgEmits) {
+		want, ok := partners[k]
+		if !ok {
+			continue
+		}
+		found := false
+		for _, w := range want {
+			if progEmits[w] {
+				found = true
+			}
+		}
+		if !found {
+			pass.Reportf(firstEmit[k].Pos(), "package emits Kind%s but nothing in the program emits its partner (%s)", k, strings.Join(prefixKind(want), " or "))
+		}
+	}
+	if len(pkgEmits) == 0 {
+		return nil // uninstrumented package (baselines): no pairing duties
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, closure, fd)
+		}
+	}
+	return nil
+}
+
+func prefixKind(ks []string) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = "Kind" + k
+	}
+	return out
+}
+
+// emitClosures computes every function's transitive may-emit set: its
+// direct emissions plus those of everything it can call. Iterated to a
+// fixpoint in deterministic function order (the graph has cycles).
+func emitClosures(pass *analysis.Pass) map[*types.Func]emitFact {
+	prog := pass.Prog
+	out := map[*types.Func]emitFact{}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.Funcs() {
+			set := out[fn]
+			if set == nil {
+				set = emitFact{}
+				out[fn] = set
+			}
+			grow := func(src emitFact) {
+				for _, k := range sortedKeys(src) {
+					if !set[k] {
+						set[k] = true
+						changed = true
+					}
+				}
+			}
+			if fact, ok := pass.ImportFact(fn); ok {
+				grow(fact.(emitFact))
+			}
+			for _, callee := range prog.Callees(fn) {
+				grow(out[callee])
+			}
+		}
+	}
+	return out
+}
+
+// mustState is the set of kinds emitted on every path so far.
+type mustState map[string]bool
+
+// sortedKeys returns the set's keys in sorted order so every iteration
+// below is deterministic (the suite dogfoods its own maporder rule).
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cloneSet(s mustState) mustState {
+	out := mustState{}
+	for _, k := range sortedKeys(s) {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b mustState) mustState {
+	out := mustState{}
+	for _, k := range sortedKeys(a) {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalSet(a, b mustState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, k := range sortedKeys(a) {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(pass *analysis.Pass, closure map[*types.Func]emitFact, fd *ast.FuncDecl) {
+	recv := receiverTypeName(fd)
+	// Transition calls and their required kinds, found shallowly per
+	// statement during the walk below.
+	type callSite struct {
+		call *ast.CallExpr
+		kind string
+		name string
+	}
+	// stmtEffect gathers what one statement contributes: kinds emitted
+	// directly or via callees, and the transition calls to check.
+	stmtEffect := func(n ast.Node) (emits mustState, sites []callSite) {
+		emits = mustState{}
+		analysis.InspectShallow(n, func(c ast.Node) bool {
+			if k, ok := emittedKind(c); ok {
+				emits[k] = true
+			}
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			for _, k := range sortedKeys(closure[callee]) {
+				emits[k] = true
+			}
+			ct := calleeRecvType(callee)
+			if ct == recv {
+				return true // sibling-method plumbing is the type's own business
+			}
+			if kind, ok := transitions[[2]string{ct, callee.Name()}]; ok {
+				sites = append(sites, callSite{call: call, kind: kind, name: ct + "." + callee.Name()})
+			}
+			return true
+		})
+		return emits, sites
+	}
+	// Function-level pairing: recovery calls need their event somewhere
+	// in the function's may-emit closure (before or after the call,
+	// literals included — they fold into this declaration).
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	ast.Inspect(fd.Body, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		ct := calleeRecvType(callee)
+		if ct == recv {
+			return true
+		}
+		if kind, ok := pairedCalls[[2]string{ct, callee.Name()}]; ok {
+			if fn == nil || !closure[fn][kind] {
+				pass.Reportf(call.Pos(), "call to %s.%s is not paired with a Kind%s emission anywhere in %s", ct, callee.Name(), kind, fd.Name.Name)
+			}
+		}
+		return true
+	})
+	cfg := analysis.NewCFG(fd.Body)
+	step := func(n ast.Node, st mustState, report bool) mustState {
+		emits, sites := stmtEffect(n)
+		if report {
+			for _, s := range sites {
+				if !st[s.kind] && !emits[s.kind] {
+					pass.Reportf(s.call.Pos(), "a path reaches %s without a prior Kind%s emission", s.name, s.kind)
+				}
+			}
+		}
+		if len(emits) == 0 {
+			return st
+		}
+		st = cloneSet(st)
+		for _, k := range sortedKeys(emits) {
+			st[k] = true
+		}
+		return st
+	}
+	transfer := func(b *analysis.Block, in mustState) mustState {
+		st := in
+		for _, n := range b.Nodes {
+			st = step(n, st, false)
+		}
+		return st
+	}
+	in := analysis.Forward(cfg, mustState{}, intersect, equalSet, transfer)
+	for _, b := range cfg.Blocks {
+		st, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		for _, n := range b.Nodes {
+			st = step(n, st, true)
+		}
+	}
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		default:
+			return ""
+		}
+	}
+}
+
+func calleeRecvType(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}

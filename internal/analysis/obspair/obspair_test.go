@@ -1,0 +1,16 @@
+package obspair_test
+
+import (
+	"testing"
+
+	"switchflow/internal/analysis/analysistest"
+	"switchflow/internal/analysis/obspair"
+)
+
+func TestObspair(t *testing.T) {
+	analysistest.Run(t, obspair.Analyzer, "obspair")
+}
+
+func TestObspairMissingPartner(t *testing.T) {
+	analysistest.Run(t, obspair.Analyzer, "obspairmissing")
+}

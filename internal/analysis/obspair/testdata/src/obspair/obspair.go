@@ -1,0 +1,116 @@
+// Package obspair is testdata: state transitions must emit their obs
+// events, on all paths. The shapes mirror internal/core driving
+// executor.Run and workload.Job without importing them.
+package obspair
+
+type Kind int
+
+const (
+	KindPreempt Kind = iota + 1
+	KindResume
+	KindCheckpoint
+	KindRestore
+	KindJobLost
+)
+
+type Event struct {
+	Kind Kind
+	Job  string
+}
+
+type Bus struct{}
+
+func (b *Bus) Emit(e Event) {}
+
+type Run struct{}
+
+func (r *Run) Suspend(finish func()) {}
+func (r *Run) Resume()               {}
+
+type Job struct{}
+
+func (j *Job) Crash(err error)           {}
+func (j *Job) Restarted()                {}
+func (j *Job) RollbackToCheckpoint() int { return 0 }
+
+type sched struct {
+	bus Bus
+}
+
+// emitPreempt is the helper shape the real core uses; its emission
+// counts for callers through the call-graph closure.
+func (s *sched) emitPreempt(job string) {
+	s.bus.Emit(Event{Kind: KindPreempt, Job: job})
+}
+
+// preemptDirect emits on the only path before suspending: clean.
+func (s *sched) preemptDirect(r *Run, job string) {
+	s.bus.Emit(Event{Kind: KindPreempt, Job: job})
+	r.Suspend(nil)
+}
+
+// preemptViaHelper emits through the helper: clean.
+func (s *sched) preemptViaHelper(r *Run, job string) {
+	s.emitPreempt(job)
+	r.Suspend(nil)
+}
+
+// preemptOnePath emits only when urgent: the other path suspends
+// silently.
+func (s *sched) preemptOnePath(r *Run, job string, urgent bool) {
+	if urgent {
+		s.bus.Emit(Event{Kind: KindPreempt, Job: job})
+	}
+	r.Suspend(nil) // want `a path reaches Run\.Suspend without a prior KindPreempt emission`
+}
+
+// preemptSilent never emits at all.
+func (s *sched) preemptSilent(r *Run) {
+	r.Suspend(nil) // want `a path reaches Run\.Suspend without a prior KindPreempt emission`
+}
+
+// resumeLoud emits before resuming: clean.
+func (s *sched) resumeLoud(r *Run) {
+	s.bus.Emit(Event{Kind: KindResume})
+	r.Resume()
+}
+
+// resumeSilent resumes without the event.
+func (s *sched) resumeSilent(r *Run) {
+	r.Resume() // want `a path reaches Run\.Resume without a prior KindResume emission`
+}
+
+// fail pairs the crash with its JobLost event (after the call is fine —
+// the pairing is function-level): clean.
+func (s *sched) fail(j *Job) {
+	j.Crash(nil)
+	s.bus.Emit(Event{Kind: KindJobLost, Job: "x"})
+}
+
+// failSilent crashes with no JobLost anywhere in the function.
+func (s *sched) failSilent(j *Job) {
+	j.Crash(nil) // want `call to Job\.Crash is not paired with a KindJobLost emission anywhere in failSilent`
+}
+
+// heal pairs rollback/restart with a Restore event: clean.
+func (s *sched) heal(j *Job) {
+	s.bus.Emit(Event{Kind: KindRestore, Job: "x"})
+	j.Restarted()
+}
+
+// healSilent rolls back without the Restore event.
+func (s *sched) healSilent(j *Job) int {
+	return j.RollbackToCheckpoint() // want `call to Job\.RollbackToCheckpoint is not paired with a KindRestore emission anywhere in healSilent`
+}
+
+// snapshot emits the Checkpoint partner of the Restores above.
+func (s *sched) snapshot() {
+	s.bus.Emit(Event{Kind: KindCheckpoint})
+}
+
+// restartSelf is Job-internal plumbing: the pairing obligation sits with
+// the scheduler, not inside the state object, so sibling calls are
+// exempt.
+func (j *Job) restartSelf() {
+	j.Restarted()
+}

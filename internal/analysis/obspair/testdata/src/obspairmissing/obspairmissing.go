@@ -1,0 +1,27 @@
+// Package obspairmissing is testdata: a package that emits one side of a
+// paired kind in a program where nothing emits the partner.
+package obspairmissing
+
+type Kind int
+
+const (
+	KindPreempt Kind = iota + 1
+	KindFaultInject
+)
+
+type Event struct{ Kind Kind }
+
+type Bus struct{}
+
+func (b *Bus) Emit(e Event) {}
+
+// Inject delivers faults but the program has no JobLost, Restore, or
+// Rebind emission: every fault outcome is invisible.
+func Inject(b *Bus) {
+	b.Emit(Event{Kind: KindFaultInject}) // want `package emits KindFaultInject but nothing in the program emits its partner \(KindJobLost or KindRestore or KindRebind\)`
+}
+
+// Preempt displaces jobs that can never be seen resuming.
+func Preempt(b *Bus) {
+	b.Emit(Event{Kind: KindPreempt}) // want `package emits KindPreempt but nothing in the program emits its partner \(KindResume\)`
+}

@@ -1,0 +1,184 @@
+package analysis
+
+// Program is the whole-module view behind the flow-aware analyzers: every
+// loaded package, a static call graph over declared functions, and a
+// per-analyzer fact store in the spirit of go/analysis facts. Analyzers
+// that need cross-package knowledge (which functions emit which events,
+// which functions are barrier hooks) export facts during their Collect
+// phase — which RunProgram drives over every package before any Run — and
+// import them, or walk the call graph, during Run.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PackageUnit is one type-checked package handed to NewProgram (the
+// analysis-side mirror of load.Package, so this package does not depend
+// on the loader).
+type PackageUnit struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Program is the analysis view of the whole module (or, in tests, of a
+// single testdata package).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*PackageUnit
+
+	// callees is the static call graph: for every declared function with
+	// a body, the set of declared functions it may call. Calls inside
+	// function literals are attributed to the enclosing declaration —
+	// closures run with their encloser's responsibilities.
+	callees map[*types.Func]map[*types.Func]bool
+	// declOf maps a function object to its declaration (functions with
+	// bodies in the loaded packages only).
+	declOf map[*types.Func]*ast.FuncDecl
+	// funcOrder lists declared functions in deterministic (position)
+	// order, for fact iteration that must not depend on map order.
+	funcOrder []*types.Func
+
+	facts map[string]map[*types.Func]any
+}
+
+// NewProgram indexes the packages: declared functions, the static call
+// graph, and an empty fact store.
+func NewProgram(fset *token.FileSet, units []*PackageUnit) *Program {
+	p := &Program{
+		Fset:     fset,
+		Packages: units,
+		callees:  make(map[*types.Func]map[*types.Func]bool),
+		declOf:   make(map[*types.Func]*ast.FuncDecl),
+		facts:    make(map[string]map[*types.Func]any),
+	}
+	for _, u := range units {
+		if u.Info == nil {
+			continue // syntax-only unit (directive tests); no call graph
+		}
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				p.declOf[fn] = fd
+				p.funcOrder = append(p.funcOrder, fn)
+				set := make(map[*types.Func]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeFunc(u.Info, call); callee != nil {
+						set[callee] = true
+					}
+					return true
+				})
+				p.callees[fn] = set
+			}
+		}
+	}
+	sort.Slice(p.funcOrder, func(i, j int) bool {
+		return p.funcOrder[i].Pos() < p.funcOrder[j].Pos()
+	})
+	return p
+}
+
+// Funcs returns every declared function with a body, in deterministic
+// source-position order.
+func (p *Program) Funcs() []*types.Func {
+	return p.funcOrder
+}
+
+// DeclOf returns the declaration of fn, or nil if fn has no body in the
+// loaded packages.
+func (p *Program) DeclOf(fn *types.Func) *ast.FuncDecl { return p.declOf[fn] }
+
+// Callees returns the functions fn may call (static calls only, closures
+// folded into their encloser), in deterministic order.
+func (p *Program) Callees(fn *types.Func) []*types.Func {
+	set := p.callees[fn]
+	out := make([]*types.Func, 0, len(set))
+	for callee := range set {
+		out = append(out, callee)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos() != out[j].Pos() {
+			return out[i].Pos() < out[j].Pos()
+		}
+		return out[i].FullName() < out[j].FullName()
+	})
+	return out
+}
+
+// ReachableFrom returns the transitive closure of seeds over the call
+// graph (seeds included). The result is a set; membership does not depend
+// on traversal order.
+func (p *Program) ReachableFrom(seeds []*types.Func) map[*types.Func]bool {
+	reach := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), seeds...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if fn == nil || reach[fn] {
+			continue
+		}
+		reach[fn] = true
+		work = append(work, p.Callees(fn)...)
+	}
+	return reach
+}
+
+// ExportFact records an analyzer-scoped fact about fn, overwriting any
+// previous fact by the same analyzer. Facts are how the Collect phase
+// publishes per-function knowledge (e.g. "may emit KindPreempt") for
+// every Run to import, whichever package it is analyzing.
+func (p *Pass) ExportFact(fn *types.Func, fact any) {
+	if p.Prog == nil || fn == nil {
+		return
+	}
+	m := p.Prog.facts[p.Analyzer.Name]
+	if m == nil {
+		m = make(map[*types.Func]any)
+		p.Prog.facts[p.Analyzer.Name] = m
+	}
+	m[fn] = fact
+}
+
+// ImportFact retrieves the fact this pass's analyzer exported for fn.
+func (p *Pass) ImportFact(fn *types.Func) (any, bool) {
+	if p.Prog == nil {
+		return nil, false
+	}
+	fact, ok := p.Prog.facts[p.Analyzer.Name][fn]
+	return fact, ok
+}
+
+// FactFuncs returns the functions this pass's analyzer exported facts
+// for, in deterministic source-position order.
+func (p *Pass) FactFuncs() []*types.Func {
+	if p.Prog == nil {
+		return nil
+	}
+	m := p.Prog.facts[p.Analyzer.Name]
+	out := make([]*types.Func, 0, len(m))
+	for fn := range m {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos() != out[j].Pos() {
+			return out[i].Pos() < out[j].Pos()
+		}
+		return out[i].FullName() < out[j].FullName()
+	})
+	return out
+}

@@ -1,0 +1,156 @@
+// Package sentinelval checks exported surfaces for magic-value
+// sentinels: a negative duration meaning "not available" or a negative
+// index meaning "not found" forces every caller to remember the special
+// value, and a forgotten check silently flows the sentinel into
+// arithmetic (PR 8's `-1ns` QueueDelay fed straight into a latency
+// histogram). Exported functions must use the `(T, bool)` comma-ok shape
+// instead.
+//
+// Two rules, both on exported functions returning through exported
+// types:
+//
+//   - A result slot typed time.Duration must never return a negative
+//     constant.
+//   - An integer result slot must not mix a negative constant sentinel
+//     with computed values. The three-way comparison idiom — every
+//     return of the slot is a constant in {-1, 0, 1} — is the one
+//     accepted negative-constant shape.
+//
+// Unexported helpers may use sentinels internally; only the exported
+// surface is held to the comma-ok contract.
+package sentinelval
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"switchflow/internal/analysis"
+)
+
+// Analyzer is the sentinelval check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelval",
+	Doc:  "no negative-duration or negative-index sentinels on exported surfaces; use (T, bool)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Type.Results == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// returnSite is one constant value returned for one result slot.
+type returnSite struct {
+	expr    ast.Expr
+	val     int64 // constant value, valid when isConst
+	isConst bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	resultTypes := flattenResults(pass, fd.Type.Results)
+	if len(resultTypes) == 0 {
+		return
+	}
+	// Gather every return's expressions per slot. Naked returns and
+	// returns through function literals are skipped — literals are their
+	// own (unexported) surface.
+	sites := make([][]returnSite, len(resultTypes))
+	analysis.InspectShallow(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != len(resultTypes) {
+			return true
+		}
+		for i, e := range ret.Results {
+			s := returnSite{expr: e}
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, exact := constant.Int64Val(tv.Value); exact {
+					s.val, s.isConst = v, true
+				}
+			}
+			sites[i] = append(sites[i], s)
+		}
+		return true
+	})
+	for i, rt := range resultTypes {
+		dur := isDuration(rt)
+		if !dur && !isIntegerType(rt) {
+			continue
+		}
+		if !dur && comparisonIdiom(sites[i]) {
+			continue
+		}
+		for _, s := range sites[i] {
+			if !s.isConst || s.val >= 0 {
+				continue
+			}
+			if dur {
+				pass.Reportf(s.expr.Pos(), "exported %s returns negative duration sentinel %d; return (time.Duration, bool) instead", fd.Name.Name, s.val)
+			} else {
+				pass.Reportf(s.expr.Pos(), "exported %s returns negative sentinel %d; return (%s, bool) instead", fd.Name.Name, s.val, rt.String())
+			}
+		}
+	}
+}
+
+// comparisonIdiom accepts the strcmp shape: every return of the slot is
+// a constant and all values lie in {-1, 0, 1}. A slot that mixes -1 with
+// computed indexes is a sentinel, not a comparison.
+func comparisonIdiom(sites []returnSite) bool {
+	if len(sites) == 0 {
+		return false
+	}
+	for _, s := range sites {
+		if !s.isConst || s.val < -1 || s.val > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// flattenResults expands the result field list (a field may declare
+// several names) into one type per slot.
+func flattenResults(pass *analysis.Pass, results *ast.FieldList) []types.Type {
+	var out []types.Type
+	for _, f := range results.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok || tv.Type == nil {
+			return nil
+		}
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, tv.Type)
+		}
+	}
+	return out
+}
+
+// isDuration matches time.Duration and named types whose underlying
+// declaration is it.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,12 @@
+package sentinelval_test
+
+import (
+	"testing"
+
+	"switchflow/internal/analysis/analysistest"
+	"switchflow/internal/analysis/sentinelval"
+)
+
+func TestSentinelval(t *testing.T) {
+	analysistest.Run(t, sentinelval.Analyzer, "sentinelval")
+}

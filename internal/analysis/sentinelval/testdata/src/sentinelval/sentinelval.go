@@ -1,0 +1,82 @@
+// Package sentinelval is testdata: no magic negative sentinels on
+// exported surfaces.
+package sentinelval
+
+import "time"
+
+type queue struct {
+	heads []int64
+	now   int64
+}
+
+// QueueDelayOld is the pre-PR-8 shape: -1ns means "empty queue", and any
+// caller that forgets the check feeds -1 into a histogram.
+func (q *queue) QueueDelayOld() time.Duration {
+	if len(q.heads) == 0 {
+		return -1 // want `exported QueueDelayOld returns negative duration sentinel -1; return \(time.Duration, bool\) instead`
+	}
+	return time.Duration(q.now - q.heads[0])
+}
+
+// QueueDelay is the comma-ok shape PR 8 migrated to: clean.
+func (q *queue) QueueDelay() (time.Duration, bool) {
+	if len(q.heads) == 0 {
+		return 0, false
+	}
+	return time.Duration(q.now - q.heads[0]), true
+}
+
+// IndexOf mixes a computed index with a -1 sentinel.
+func IndexOf(xs []int, want int) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1 // want `exported IndexOf returns negative sentinel -1; return \(int, bool\) instead`
+}
+
+// Lookup is the comma-ok shape: clean.
+func Lookup(xs []int, want int) (int, bool) {
+	for i, x := range xs {
+		if x == want {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Compare is the three-way comparison idiom: every return is a constant
+// in {-1, 0, 1}, which is a contract, not a sentinel.
+func Compare(a, b int) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// indexOf is unexported: internal helpers may use sentinels, the caller
+// is in the same file.
+func indexOf(xs []int, want int) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// Scale returns a negative constant that is not an index or duration
+// result... it still trips the integer rule on the exported surface.
+func Scale() int {
+	return -100 // want `exported Scale returns negative sentinel -100; return \(int, bool\) instead`
+}
+
+// Delta legitimately computes negative values at runtime; only constant
+// sentinels are flagged.
+func Delta(a, b int) int {
+	return a - b
+}

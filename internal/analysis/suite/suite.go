@@ -5,18 +5,26 @@ package suite
 
 import (
 	"switchflow/internal/analysis"
+	"switchflow/internal/analysis/counterflow"
 	"switchflow/internal/analysis/detrand"
+	"switchflow/internal/analysis/epochsafe"
 	"switchflow/internal/analysis/locksafe"
 	"switchflow/internal/analysis/maporder"
+	"switchflow/internal/analysis/obspair"
+	"switchflow/internal/analysis/sentinelval"
 	"switchflow/internal/analysis/simclock"
 )
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		counterflow.Analyzer,
 		detrand.Analyzer,
+		epochsafe.Analyzer,
 		locksafe.Analyzer,
 		maporder.Analyzer,
+		obspair.Analyzer,
+		sentinelval.Analyzer,
 		simclock.Analyzer,
 	}
 }

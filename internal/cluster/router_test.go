@@ -193,3 +193,195 @@ func TestAutoscalerScalesOutOnShedAndInOnIdle(t *testing.T) {
 		t.Fatalf("elastic training ended at %d vnodes, want grown back to 2", train.Binding().Len())
 	}
 }
+
+// TestScaleInRacingFlashCrowdOnset times a flash crowd to begin at the
+// exact tick where a sustained-idle scale-in fires: the interval that
+// triggers the scale-in is still fully idle (the crowd starts as it
+// closes), so the controller legitimately shrinks into the onset. The
+// required behavior is recovery, not prescience: the crowd's shed signal
+// must scale the tenant back out, delayed by at least the cooldown set by
+// the racing scale-in, and never wedge the controller.
+func TestScaleInRacingFlashCrowdOnset(t *testing.T) {
+	c := New(FirstFit{}, 1, device.ClassV100, device.ClassV100)
+	c.Record(obs.KindScaleIn, obs.KindScaleOut)
+	p := flatProfile(1, 20)
+	// Ticks land on 5ms barrier strides: baseline at the first barrier,
+	// then every 500ms. With SustainDown=2 the scale-in fires on the
+	// second idle tick (~1.005s); the crowd starts right there.
+	p.Spikes = []traffic.Spike{{
+		Start: 1005 * time.Millisecond, Ramp: 100 * time.Millisecond,
+		Hold: 2500 * time.Millisecond, Decay: 300 * time.Millisecond, Magnitude: 20,
+	}}
+	gen, err := traffic.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbatched replicas saturate near 150 req/s: the 400 req/s crowd
+	// sheds hard against the single post-scale-in replica.
+	fe, err := NewFrontend(c, gen, RouteLeastLoaded, func(tn traffic.Tenant) (workload.Config, error) {
+		cfg, err := DefaultServiceConfig(tn)
+		cfg.MaxBatch = 0
+		cfg.BatchWait = 0
+		return cfg, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cooldown := 2 * time.Second
+	scaler := fe.EnableAutoscaler(AutoscaleConfig{
+		Interval:    500 * time.Millisecond,
+		SustainUp:   2,
+		IdleRPS:     50,
+		SustainDown: 2,
+		MaxReplicas: 3,
+		Cooldown:    cooldown,
+	})
+	fe.Start(2)
+	c.RunUntil(3500 * time.Millisecond)
+
+	if scaler.ScaleIns() == 0 {
+		t.Fatal("sustained idle before the crowd produced no scale-in")
+	}
+	if scaler.ScaleOuts() == 0 {
+		t.Fatal("controller never scaled back out after shrinking into the crowd")
+	}
+	var inAt, outAt []time.Duration
+	for _, e := range c.Events() {
+		switch e.Kind {
+		case obs.KindScaleIn:
+			inAt = append(inAt, e.Time)
+		case obs.KindScaleOut:
+			outAt = append(outAt, e.Time)
+		}
+	}
+	if len(inAt) == 0 || len(outAt) == 0 {
+		t.Fatalf("missing scale events: in=%d out=%d", len(inAt), len(outAt))
+	}
+	if inAt[0] >= p.Spikes[0].Start+p.Spikes[0].Ramp {
+		t.Fatalf("scale-in at %v did not race the crowd onset at %v", inAt[0], p.Spikes[0].Start)
+	}
+	if gap := outAt[0] - inAt[0]; gap < cooldown {
+		t.Fatalf("recovery scale-out at %v only %v after the scale-in at %v; cooldown %v not honored", outAt[0], gap, inAt[0], cooldown)
+	}
+	if d := fe.Services()[0].desired(); d < 2 {
+		t.Fatalf("tenant holds %d replicas at the end of the crowd, want >= 2", d)
+	}
+}
+
+// TestCooldownBoundaryExactlyAtIntervalEdge pins the boundary semantics
+// of the cooldown gate: with Cooldown an exact multiple of Interval,
+// every cooldown expiry lands exactly on a tick, and the gate is strict
+// (`now < cooldownUntil`), so the tick AT the expiry instant may act.
+// Under permanent overload the controller must therefore emit scale-outs
+// spaced exactly Cooldown apart — an off-by-one (<=) would slip each
+// action a full extra interval.
+func TestCooldownBoundaryExactlyAtIntervalEdge(t *testing.T) {
+	c := New(FirstFit{}, 1, device.ClassV100, device.ClassV100,
+		device.ClassV100, device.ClassV100)
+	c.Record(obs.KindScaleOut)
+	gen, err := traffic.NewGenerator(flatProfile(1, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontend(c, gen, RouteLeastLoaded, func(tn traffic.Tenant) (workload.Config, error) {
+		cfg, err := DefaultServiceConfig(tn)
+		cfg.MaxBatch = 0
+		cfg.BatchWait = 0
+		return cfg, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cooldown := time.Second // exactly 2 control intervals
+	fe.EnableAutoscaler(AutoscaleConfig{
+		Interval:    500 * time.Millisecond,
+		SustainUp:   2,
+		SustainDown: 100, // never scale in
+		MaxReplicas: 4,
+		Cooldown:    cooldown,
+	})
+	fe.Start(1)
+	c.RunUntil(3200 * time.Millisecond)
+
+	var outAt []time.Duration
+	for _, e := range c.Events() {
+		if e.Kind == obs.KindScaleOut {
+			outAt = append(outAt, e.Time)
+		}
+	}
+	if len(outAt) < 3 {
+		t.Fatalf("sustained overload produced %d scale-outs in 3.2s, want >= 3", len(outAt))
+	}
+	for i := 1; i < len(outAt); i++ {
+		if gap := outAt[i] - outAt[i-1]; gap != cooldown {
+			t.Fatalf("scale-outs %d and %d are %v apart, want exactly the %v cooldown (tick at the expiry instant must act)", i-1, i, gap, cooldown)
+		}
+	}
+}
+
+// TestElasticFlexGrowsBackAfterDrainMidCooldown: a service scale-in puts
+// the tenant in cooldown, and while that cooldown is pending the managed
+// elastic training job is externally resized down (a drain). The elastic
+// flex loop is not subject to the per-service cooldown — it must observe
+// the shrunken binding on the next tick and grow the job back to max
+// before the service's cooldown even expires.
+func TestElasticFlexGrowsBackAfterDrainMidCooldown(t *testing.T) {
+	c := New(FirstFit{}, 1, device.ClassV100, device.ClassV100)
+	gen, err := traffic.NewGenerator(flatProfile(1, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := NewFrontend(c, gen, RouteHash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler := fe.EnableAutoscaler(AutoscaleConfig{
+		Interval:    500 * time.Millisecond,
+		SustainUp:   2,
+		IdleRPS:     50,
+		SustainDown: 2,
+		MaxReplicas: 3,
+		Cooldown:    2 * time.Second,
+	})
+	train, err := c.nodes[0].mgr.AddJob(workload.Config{
+		Name: "train-bg", Model: spec(t, "ResNet50"), Batch: 32,
+		Kind: workload.KindTraining, Priority: 1,
+		Device: device.GPUID(0),
+		VNodes: []device.ID{device.GPUID(0), device.GPUID(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler.RegisterElastic(c.nodes[0], train, 1, 2)
+
+	// 20 req/s over 2 replicas is idle; SustainDown=2 scales in on the
+	// second post-baseline tick (~1.005s) and starts the 2s cooldown.
+	fe.Start(2)
+	c.RunUntil(1200 * time.Millisecond)
+	if scaler.ScaleIns() != 1 {
+		t.Fatalf("expected the idle scale-in by 1.2s, got %d", scaler.ScaleIns())
+	}
+	svc := fe.Services()[0]
+	if svc.cooldownUntil <= c.Now() {
+		t.Fatalf("no pending cooldown after the scale-in (until %v, now %v)", svc.cooldownUntil, c.Now())
+	}
+	// Drain the elastic job down to one vnode while the cooldown runs.
+	if err := c.nodes[0].mgr.Resize(train, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop short of the cooldown expiry: the grow must already be done.
+	c.RunUntil(svc.cooldownUntil - 100*time.Millisecond)
+	if c.Now() >= svc.cooldownUntil {
+		t.Fatalf("ran past the cooldown (now %v, until %v); the test no longer isolates mid-cooldown flex", c.Now(), svc.cooldownUntil)
+	}
+	if scaler.Grows() == 0 {
+		t.Fatal("elastic flex did not grow the drained job back during the service cooldown")
+	}
+	if got := train.Binding().Len(); got != 2 {
+		t.Fatalf("elastic job at %d vnodes, want grown back to 2", got)
+	}
+	if scaler.Shrinks() != 0 {
+		t.Fatalf("external drain was miscounted as %d controller shrinks", scaler.Shrinks())
+	}
+}

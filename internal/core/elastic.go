@@ -118,6 +118,7 @@ func (m *Manager) startShard(js *jobState, sh *shardState) {
 		n := js.job.VNodeScratchBytes(sh.idx)
 		if err := js.job.AllocScratchBytes(sh.dev, n); err != nil {
 			js.job.Crash(err)
+			m.emitJobLost(js, sh.dev, "scratch alloc failed")
 			m.releaseShard(sh)
 			return
 		}
@@ -134,12 +135,14 @@ func (m *Manager) startShard(js *jobState, sh *shardState) {
 	v, err := js.job.VNodeVersion(sh.idx)
 	if err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, sh.dev, "no graph version")
 		m.releaseShard(sh)
 		return
 	}
 	n := js.job.VNodeScratchBytes(sh.idx)
 	if err := js.job.AllocScratchBytes(sh.dev, n); err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, sh.dev, "scratch alloc failed")
 		m.releaseShard(sh)
 		return
 	}
@@ -148,6 +151,7 @@ func (m *Manager) startShard(js *jobState, sh *shardState) {
 	run, err := js.job.StartExec(v.Compute, cfg, func() { m.finishShard(js, sh) })
 	if err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, sh.dev, "compute start failed")
 		js.job.FreeScratchBytes(sh.dev, sh.scratch)
 		sh.scratch = 0
 		m.releaseShard(sh)

@@ -97,6 +97,7 @@ func (g *Group) pumpInput() {
 	v, err := master.job.Version(master.current)
 	if err != nil {
 		master.job.Crash(err)
+		g.m.emitJobLost(master, master.current, "no graph version")
 		return
 	}
 	if v.Input == nil {
@@ -111,6 +112,7 @@ func (g *Group) pumpInput() {
 	})
 	if err != nil {
 		master.job.Crash(err)
+		g.m.emitJobLost(master, master.current, "input start failed")
 		g.inputRunning = false
 	}
 }
@@ -165,6 +167,7 @@ func (g *Group) runMember(js *jobState) {
 
 func (g *Group) memberFailed(js *jobState, err error) {
 	js.job.Crash(err)
+	g.m.emitJobLost(js, js.current, "coupled member failed")
 	js.holding = false
 	g.m.release(js.current.Index)
 	g.busy = false

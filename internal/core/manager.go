@@ -275,6 +275,7 @@ func (m *Manager) pumpInput(js *jobState) {
 	v, err := js.job.Version(js.current)
 	if err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, js.current, "no graph version")
 		return
 	}
 	if v.Input == nil {
@@ -295,6 +296,7 @@ func (m *Manager) pumpInput(js *jobState) {
 		})
 		if err != nil {
 			js.job.Crash(err)
+			m.emitJobLost(js, js.current, "input start failed")
 			return
 		}
 	}
@@ -379,6 +381,7 @@ func (m *Manager) runCoupledSession(js *jobState) {
 	v, err := js.job.Version(js.current)
 	if err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, js.current, "no graph version")
 		m.releaseFrom(js)
 		return
 	}
@@ -399,6 +402,7 @@ func (m *Manager) runCoupledSession(js *jobState) {
 		})
 		if err != nil {
 			js.job.Crash(err)
+			m.emitJobLost(js, js.current, "input start failed")
 			m.releaseFrom(js)
 			return
 		}
@@ -418,6 +422,7 @@ func (m *Manager) startCompute(js *jobState) {
 	if js.computeRun != nil && js.computeRun.Suspended() {
 		if err := js.job.AllocIntermediate(js.current); err != nil {
 			js.job.Crash(err)
+			m.emitJobLost(js, js.current, "intermediate alloc failed")
 			m.releaseFrom(js)
 			return
 		}
@@ -433,6 +438,7 @@ func (m *Manager) startCompute(js *jobState) {
 	v, err := js.job.NextComputeVersion(js.current)
 	if err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, js.current, "no graph version")
 		m.releaseFrom(js)
 		return
 	}
@@ -440,6 +446,7 @@ func (m *Manager) startCompute(js *jobState) {
 		// Cannot happen under the exclusivity invariant unless a single
 		// job exceeds the device by itself.
 		js.job.Crash(err)
+		m.emitJobLost(js, js.current, "intermediate alloc failed")
 		m.releaseFrom(js)
 		return
 	}
@@ -458,6 +465,7 @@ func (m *Manager) startCompute(js *jobState) {
 	})
 	if err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, js.current, "compute start failed")
 		js.job.FreeIntermediate(js.current)
 		m.releaseFrom(js)
 		return
@@ -525,6 +533,7 @@ func (m *Manager) restoreCheckpoint(js *jobState) {
 	js.restoring = true
 	if err := js.job.AllocWeights(js.current); err != nil {
 		js.job.Crash(err)
+		m.emitJobLost(js, js.current, "restore allocation failed")
 		js.restoring = false
 		m.releaseFrom(js)
 		return

@@ -203,6 +203,7 @@ func (m *Manager) pickFallback(victim *jobState) (device.ID, bool) {
 func (m *Manager) migrate(victim *jobState, from, to device.ID, reason string, onDone func()) {
 	if _, err := victim.job.Version(to); err != nil {
 		victim.job.Crash(err)
+		m.emitJobLost(victim, to, "no graph version")
 		return
 	}
 	if err := victim.job.AllocWeights(to); err != nil {
@@ -226,6 +227,7 @@ func (m *Manager) migrate(victim *jobState, from, to device.ID, reason string, o
 	path, err := m.machine.CopyPath(from, to)
 	if err != nil {
 		victim.job.Crash(err)
+		m.emitJobLost(victim, to, "no copy path")
 		return
 	}
 	bytes := victim.job.WeightBytes()

@@ -522,6 +522,7 @@ func (e *Engine) drain(lvl int, idx uint) {
 	for ev != nil {
 		next := ev.next
 		ev.next, ev.prev = nil, nil
+		//swlint:allow counterflow one decrement per distinct drained event; place() immediately re-increments when it re-inserts into the wheel
 		e.wheelLive--
 		e.place(ev)
 		ev = next

@@ -129,7 +129,9 @@ func Split(total int, devs []device.ID, price Pricer) (Binding, error) {
 		if nodes[best].Share <= 1 {
 			break // unreachable given total >= n, kept as a hard stop
 		}
+		//swlint:allow counterflow repayment loop: each pass takes one unit back from a distinct largest share; `assigned > total` bounds it
 		nodes[best].Share--
+		//swlint:allow counterflow assigned mirrors the Share repayment above and the loop condition bounds it
 		assigned--
 	}
 	return Binding{nodes: nodes}, nil
