@@ -13,13 +13,13 @@ STATICCHECK_VERSION := 2024.1.1
 GOVULNCHECK_VERSION := v1.1.3
 
 .PHONY: all build vet lint test race bench bench-json bench-trajectory \
-	bench-smoke fleet-smoke results examples trace install-lint-tools
+	bench-smoke fleet-smoke gang-smoke results examples trace install-lint-tools
 
 # The committed engine-performance baseline. Bump the number when a PR
 # intentionally moves the trajectory; `make bench-trajectory` regenerates
 # it and `make bench-smoke` (the CI gate) compares a smoke-sized run's
 # machine-portable ratios against it.
-BENCH_BASELINE := BENCH_006.json
+BENCH_BASELINE := BENCH_010.json
 
 all: build vet lint test race
 
@@ -96,6 +96,25 @@ fleet-smoke:
 		if ($$2 == "true" && ($$9 == 0 || $$10 == 0 || $$11 == 0 || $$12 == 0 || $$6 >= staticShed)) exit 1 } \
 		END { exit rows != 3 }' fleet_serial.txt
 	@echo "fleet-smoke OK"
+
+# CI smoke for gang-scheduled data-parallel training: the five arms must
+# be byte-identical serial vs parallel, no arm may leave a partial gang
+# or resume a straggler replica, the contended-gang arm must place two
+# whole gangs and queue the third whole, the preempt arm must suspend and
+# resume whole gangs, and the NVLink ring must out-iterate the
+# island-straddling one.
+gang-smoke:
+	go run ./cmd/swbench -exp gang -parallel 1 > gang_serial.txt
+	go run ./cmd/swbench -exp gang -parallel 8 > gang_parallel.txt
+	cmp gang_serial.txt gang_parallel.txt
+	awk 'NR > 3 { rows++; \
+		if ($$10 != 0 || $$8 != 0) exit 1; \
+		if ($$1 == "gang" && ($$5 != 2 || $$9 != 1)) exit 1; \
+		if ($$1 == "preempt" && ($$6 == 0 || $$7 == 0)) exit 1; \
+		if ($$1 == "nvlink") nv = $$2; \
+		if ($$1 == "straddle" && $$2 >= nv) exit 1 } \
+		END { exit rows != 5 }' gang_serial.txt
+	@echo "gang-smoke OK"
 
 # Chrome trace-event artifact from the canned two-ResNet50 co-run on a
 # V100 (the switchflow cell). Open trace.json in https://ui.perfetto.dev.

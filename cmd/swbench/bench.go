@@ -62,6 +62,13 @@ type macroResult struct {
 	WallSec    float64 `json:"wall_sec"`
 	Events     uint64  `json:"events"`
 	EventsPerS float64 `json:"events_per_sec"`
+	// Barrier imbalance across the node shards: max/mean and min/mean of
+	// per-node events fired. The sharded advance waits for the slowest
+	// shard at every epoch barrier, so a high max/mean bounds the
+	// parallel speedup no matter how many workers run. Deterministic —
+	// identical in serial and sharded modes.
+	ShardMaxMean float64 `json:"shard_max_mean"`
+	ShardMinMean float64 `json:"shard_min_mean"`
 }
 
 type benchOpts struct {
@@ -84,7 +91,7 @@ func engineBench(opts benchOpts) error {
 	// reduction trims only the (much slower) fleet macro.
 	depths := []int{256, 4096, 65536}
 	const microIters = 2_000_000
-	fleets := []int{2, 4}
+	fleets := []int{2, 4, 16}
 	horizon := 20 * time.Second
 	if opts.smoke {
 		fleets = []int{2}
@@ -105,22 +112,25 @@ func engineBench(opts benchOpts) error {
 	}
 
 	header("Fleet macro: serial vs sharded epoch advance")
-	fmt.Printf("%-8s %8s %10s %12s %12s %9s\n", "name", "nodes", "mode", "wall s", "events", "kev/s")
+	fmt.Printf("%-8s %8s %10s %12s %12s %9s %9s %9s\n",
+		"name", "nodes", "mode", "wall s", "events", "kev/s", "max/mean", "min/mean")
 	for _, nodes := range fleets {
 		for _, mode := range []string{"serial", "sharded"} {
 			workers := 1
 			if mode == "sharded" {
 				workers = runtime.GOMAXPROCS(0)
 			}
-			wall, fired := fleetMacro(nodes, workers, horizon)
+			wall, fired, maxMean, minMean := fleetMacro(nodes, workers, horizon)
 			m := macroResult{
 				Name: "fleet", Nodes: nodes, Mode: mode,
 				WallSec: wall.Seconds(), Events: fired,
-				EventsPerS: float64(fired) / wall.Seconds(),
+				EventsPerS:   float64(fired) / wall.Seconds(),
+				ShardMaxMean: maxMean, ShardMinMean: minMean,
 			}
 			report.Macro = append(report.Macro, m)
-			fmt.Printf("%-8s %8d %10s %12.3f %12d %9.1f\n",
-				m.Name, m.Nodes, m.Mode, m.WallSec, m.Events, m.EventsPerS/1e3)
+			fmt.Printf("%-8s %8d %10s %12.3f %12d %9.1f %9.3f %9.3f\n",
+				m.Name, m.Nodes, m.Mode, m.WallSec, m.Events, m.EventsPerS/1e3,
+				m.ShardMaxMean, m.ShardMinMean)
 		}
 	}
 
@@ -296,9 +306,10 @@ func benchStormHeap(depth, iters int) (time.Duration, float64) {
 }
 
 // fleetMacro advances a collocated training+serving fleet to the horizon
-// with the given worker count and reports wall time plus total engine
-// events fired across the nodes.
-func fleetMacro(nodes, workers int, horizon time.Duration) (time.Duration, uint64) {
+// with the given worker count and reports wall time, total engine events
+// fired across the nodes, and the per-shard barrier imbalance (max/mean
+// and min/mean of per-node fired counts).
+func fleetMacro(nodes, workers int, horizon time.Duration) (time.Duration, uint64, float64, float64) {
 	prev := harness.SetParallelism(workers)
 	defer harness.SetParallelism(prev)
 
@@ -326,11 +337,20 @@ func fleetMacro(nodes, workers int, horizon time.Duration) (time.Duration, uint6
 	elapsed := stopwatch()
 	c.RunUntil(horizon)
 	wall := elapsed()
-	var fired uint64
+	var fired, max uint64
+	min := ^uint64(0)
 	for _, n := range c.Nodes() {
-		fired += n.Engine().Fired()
+		f := n.Engine().Fired()
+		fired += f
+		if f > max {
+			max = f
+		}
+		if f < min {
+			min = f
+		}
 	}
-	return wall, fired
+	mean := float64(fired) / float64(len(c.Nodes()))
+	return wall, fired, float64(max) / mean, float64(min) / mean
 }
 
 func mustModel(name string) *models.Spec {

@@ -8,7 +8,7 @@
 //	swbench -exp f8 -iters 200
 //
 // Experiments: f2, f3, f6, f7, f8, f9, f10, t1, preempt, ablation, chaos,
-// elastic, serving, all.
+// elastic, gang, serving, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,serving,eager,fleet,ablation,chaos,elastic,engine,all")
+		exp        = flag.String("exp", "all", "experiment id: f2,f3,f6,f7,f8,f9,f10,t1,preempt,gandiva,load,serving,eager,fleet,ablation,chaos,elastic,gang,engine,all")
 		iters      = flag.Int("iters", 200, "iterations per measurement (figures 3, 8, 9, 10)")
 		requests   = flag.Int("requests", 200, "inference requests per cell (figure 6, preempt, ablation)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for experiment sweeps (1 = serial)")
@@ -109,9 +109,10 @@ func run(exp string, iters, requests int, fleetWin time.Duration, clients int) e
 		"fleet":    func() { fleet(fleetWin, clients) },
 		"chaos":    func() { chaos() },
 		"elastic":  func() { elastic() },
+		"gang":     func() { gang() },
 	}
 	if exp == "all" {
-		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "serving", "eager", "fleet", "ablation", "chaos", "elastic"} {
+		for _, id := range []string{"t1", "f2", "f3", "f6", "f7", "f8", "f9", "f10", "preempt", "gandiva", "load", "serving", "eager", "fleet", "ablation", "chaos", "elastic", "gang"} {
 			timed(id, all[id])
 		}
 		return nil
@@ -323,6 +324,18 @@ func elastic() {
 		fmt.Printf("%-10s %-12s %8d %7v %6d %6d %6d %6d  %-20s\n",
 			r.Mode, r.Scheduler, r.Iterations, r.Alive, r.Restarts, r.IterationsLost,
 			r.Grows, r.Rebinds, binding)
+	}
+}
+
+func gang() {
+	header("Gang: data-parallel training with topology-priced ring all-reduce (30s, NVLink islands)")
+	fmt.Printf("%-12s %8s %6s %10s %7s %7s %7s %7s %7s %8s\n",
+		"mode", "train-it", "syncs", "sync ms", "places", "preempt", "resume", "stragl", "queued", "partial")
+	for _, r := range experiments.Gang() {
+		fmt.Printf("%-12s %8d %6d %10.3f %7d %7d %7d %7d %7d %8d\n",
+			r.Mode, r.Iterations, r.AllReduces, r.MeanSyncMillis,
+			r.GangPlaces, r.GangPreempts, r.GangResumes, r.Stragglers,
+			r.QueuedWhole, r.PartialGangs)
 	}
 }
 

@@ -26,6 +26,14 @@
 //	swrun -machine 2gpu -jobs train:ResNet50:16:1 -vnodes 0 \
 //	      -resize train-ResNet50=2@10s -drain 0@20s -for 60s
 //
+// The gang flag turns every training job into a synchronous
+// data-parallel gang (SwitchFlow only): N replicas on consecutive GPUs
+// meet at a topology-priced ring all-reduce every step and are
+// preempted or resumed as one unit. The NVLink machine gives the
+// all-reduce fast islands to run on:
+//
+//	swrun -machine nvlink -jobs train:ResNet50:32:1 -gang 2 -for 30s
+//
 // The traffic flags replace the serve jobs' own arrival clocks with one
 // aggregate open-loop trace — a base rate shaped by a diurnal sinusoid
 // and flash-crowd spikes, split across the serve jobs by Zipf share in
@@ -52,7 +60,7 @@ import (
 
 func main() {
 	var (
-		machineFlag  = flag.String("machine", "v100", "machine: v100, 2gpu, tx2, or a GPU name")
+		machineFlag  = flag.String("machine", "v100", "machine: v100, nvlink, 2gpu, tx2, or a GPU name")
 		schedFlag    = flag.String("sched", "switchflow", "scheduler: switchflow, threaded, timeslice, mps")
 		jobsFlag     = flag.String("jobs", "train:ResNet50:16:1", "comma-separated job specs")
 		window       = flag.Duration("for", 30*time.Second, "virtual time to run")
@@ -67,6 +75,7 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 0, "fuse up to this many requests per compute launch (0 = no batching)")
 		batchWait    = flag.Duration("batch-wait", 0, "max wait for a sub-target micro-batch to fill")
 		vnodesFlag   = flag.String("vnodes", "", "split training jobs across these GPUs as virtual nodes, e.g. 0,1 (switchflow only)")
+		gangFlag     = flag.Int("gang", 0, "make training jobs data-parallel gangs of this many replicas; with -vnodes those GPUs are the gang (switchflow only)")
 		drainFlag    = flag.String("drain", "", "drain GPUs mid-run, as gpu@time[,gpu@time...] (e.g. 0@20s)")
 		resizeFlag   = flag.String("resize", "", "resize elastic jobs mid-run, as job=vnodes@time[,...] (e.g. train-ResNet50=2@10s)")
 		trafficRPS   = flag.Float64("traffic", 0, "drive serve jobs with an aggregate open-loop trace at this rps (0 = off)")
@@ -89,7 +98,7 @@ func main() {
 		err = runScenario(*scenarioFlag)
 	} else {
 		err = run(*machineFlag, *schedFlag, *jobsFlag, *window, *faultSeed, *loseGPU, *ckptEvery, serving,
-			*vnodesFlag, *drainFlag, *resizeFlag, traf)
+			*vnodesFlag, *gangFlag, *drainFlag, *resizeFlag, traf)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "swrun:", err)
@@ -193,7 +202,7 @@ func (o trafficOpts) request() (control.TrafficRequest, error) {
 
 func run(machineName, schedName, jobsSpec string, window time.Duration,
 	faultSeed int64, loseGPU string, ckptEvery time.Duration, serving servingOpts,
-	vnodesFlag, drainFlag, resizeFlag string, traf trafficOpts) error {
+	vnodesFlag string, gang int, drainFlag, resizeFlag string, traf trafficOpts) error {
 	if traf.enabled() && serving.every > 0 {
 		return fmt.Errorf("-traffic and -serve-every are mutually exclusive")
 	}
@@ -246,6 +255,11 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 			// facade rejects specs that mix the two styles.
 			js.GPU, js.FallbackGPUs, js.FallbackCPU = 0, nil, false
 			js.Placement = switchflow.Placement{Device: vnodes[0], VNodes: vnodes}
+			js.Gang = gang > 0
+		} else if js.Train && gang > 0 {
+			// A gang of N replicas on consecutive GPUs from the job's @gpu.
+			js.FallbackGPUs, js.FallbackCPU = nil, false
+			js.Gang, js.Replicas = true, gang
 		} else if js.Train || len(opts) > 0 {
 			// Training jobs fall back to every other GPU on this machine, in
 			// index order, then the CPU. Under fault injection serving jobs
@@ -327,6 +341,9 @@ func run(machineName, schedName, jobsSpec string, window time.Duration,
 		if job.Elastic() {
 			line += fmt.Sprintf("  vnodes=%d binding=%s restarts=%d",
 				job.VNodes(), job.Binding(), job.Restarts())
+			if job.Gang() {
+				line += " gang"
+			}
 		}
 		if job.Requests() > 0 {
 			line += fmt.Sprintf("  p95=%v p99=%v",
@@ -499,6 +516,8 @@ func machineSpec(name string) (switchflow.MachineSpec, error) {
 	switch strings.ToLower(name) {
 	case "v100":
 		return switchflow.V100Server(), nil
+	case "nvlink":
+		return switchflow.NVLinkV100Server(), nil
 	case "2gpu":
 		return switchflow.TwoGPUServer(), nil
 	case "tx2":

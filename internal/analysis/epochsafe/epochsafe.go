@@ -37,7 +37,7 @@ var Analyzer = &analysis.Analyzer{
 // epoch-gated. Matching is by name so the rule reads the same in the
 // real packages and in isolated testdata.
 var protectedFields = map[string]map[string]bool{
-	"Cluster": {"placed": true, "queue": true, "pending": true},
+	"Cluster": {"placed": true, "queue": true, "pending": true, "gangQueue": true},
 	"Node":    {"perGPU": true},
 	"Service": {"replicas": true},
 }

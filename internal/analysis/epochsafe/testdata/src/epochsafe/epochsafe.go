@@ -13,9 +13,10 @@ type Node struct {
 type handle struct{ name string }
 
 type Cluster struct {
-	placed map[string]*handle
-	queue  []*handle
-	hooks  []func(int64)
+	placed    map[string]*handle
+	queue     []*handle
+	gangQueue []*handle
+	hooks     []func(int64)
 }
 
 type Service struct {
@@ -78,6 +79,23 @@ func Rebalance(n *Node, s *Service, j *job) {
 	s.replicas = append(s.replicas, "r") // want `Rebalance mutates Service\.replicas outside a barrier hook`
 	j.SetBinding(binding{dev: 1})        // want `Rebalance calls SetBinding outside a barrier hook`
 	n.perGPU[0] = gpuLoad{jobs: 0}       // want `Rebalance mutates Node\.perGPU outside a barrier hook`
+}
+
+// retryGangs is registered as a barrier hook below: gangs are admitted
+// whole at epoch boundaries, so draining the gang queue there is safe.
+func (c *Cluster) retryGangs(now int64) {
+	c.gangQueue = c.gangQueue[:0]
+}
+
+func (c *Cluster) wireGangs() {
+	c.AtBarrier(c.retryGangs)
+}
+
+// AdmitGang mutates the gang queue from outside the epoch machinery:
+// a gang sneaking into the queue mid-epoch could be placed against a
+// stale view of free GPUs.
+func (c *Cluster) AdmitGang(h *handle) {
+	c.gangQueue = append(c.gangQueue, h) // want `AdmitGang mutates Cluster\.gangQueue outside a barrier hook`
 }
 
 // pendingOp machinery: ops queued through queueOp apply at the barrier,

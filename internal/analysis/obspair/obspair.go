@@ -77,6 +77,8 @@ var partners = map[string][]string{
 	"Checkpoint":  {"Restore"},
 	"Restore":     {"Checkpoint"},
 	"FaultInject": {"JobLost", "Restore", "Rebind"},
+	"GangPreempt": {"GangResume"},
+	"GangResume":  {"GangPreempt"},
 }
 
 func collect(pass *analysis.Pass) error {

@@ -114,3 +114,39 @@ func (s *sched) snapshot() {
 func (j *Job) restartSelf() {
 	j.Restarted()
 }
+
+// Gang kinds: whole-gang suspension must pair with whole-gang resume
+// program-wide, and the per-replica Suspend calls inside a gang preempt
+// still need the per-replica KindPreempt on every path.
+const (
+	KindGangPreempt Kind = iota + 100
+	KindGangResume
+)
+
+// preemptGang mirrors the real core: the per-replica Preempt helper
+// fires first, then the gang-wide marker, then each replica suspends.
+func (s *sched) preemptGang(rs []*Run, job string) {
+	s.emitPreempt(job)
+	s.bus.Emit(Event{Kind: KindGangPreempt, Job: job})
+	for _, r := range rs {
+		r.Suspend(nil)
+	}
+}
+
+// resumeGang re-holds the full set before any replica restarts.
+func (s *sched) resumeGang(rs []*Run, job string) {
+	s.bus.Emit(Event{Kind: KindGangResume, Job: job})
+	s.bus.Emit(Event{Kind: KindResume, Job: job})
+	for _, r := range rs {
+		r.Resume()
+	}
+}
+
+// preemptGangSilent suspends the gang with neither the per-replica nor
+// the gang-wide event.
+func (s *sched) preemptGangSilent(rs []*Run) {
+	s.bus.Emit(Event{Kind: KindGangPreempt})
+	for _, r := range rs {
+		r.Suspend(nil) // want `a path reaches Run\.Suspend without a prior KindPreempt emission`
+	}
+}

@@ -25,3 +25,11 @@ func Inject(b *Bus) {
 func Preempt(b *Bus) {
 	b.Emit(Event{Kind: KindPreempt}) // want `package emits KindPreempt but nothing in the program emits its partner \(KindResume\)`
 }
+
+const KindGangPreempt Kind = 100
+
+// PreemptGang suspends whole gangs in a program where nothing ever
+// emits the gang-wide resume.
+func PreemptGang(b *Bus) {
+	b.Emit(Event{Kind: KindGangPreempt}) // want `package emits KindGangPreempt but nothing in the program emits its partner \(KindGangResume\)`
+}

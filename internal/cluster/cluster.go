@@ -64,10 +64,22 @@ func (n *Node) Engine() *sim.Engine { return n.eng }
 type Placement struct {
 	Node string
 	GPU  int
+	// GPUs lists every device of a gang placement in ring order (GPU
+	// equals GPUs[0]); empty for single-device jobs.
+	GPUs []int
 }
 
 // String implements fmt.Stringer.
-func (p Placement) String() string { return fmt.Sprintf("%s/gpu:%d", p.Node, p.GPU) }
+func (p Placement) String() string {
+	if len(p.GPUs) > 1 {
+		s := fmt.Sprintf("%s/gpus:%d", p.Node, p.GPUs[0])
+		for _, g := range p.GPUs[1:] {
+			s += fmt.Sprintf("+%d", g)
+		}
+		return s
+	}
+	return fmt.Sprintf("%s/gpu:%d", p.Node, p.GPU)
+}
 
 // JobHandle tracks one submitted job.
 type JobHandle struct {
@@ -115,6 +127,8 @@ type Cluster struct {
 	group     *shard.Group
 	pending   []*JobHandle // submissions not yet due, in Submit order
 	queue     []*JobHandle // due but unplaceable, awaiting a Stop retry
+	gangQueue []*JobHandle // due gangs whose full slot never fit, in Submit order
+	gangOrder GangOrder    // how retryGangs ranks the gang queue
 	placed    []*JobHandle
 	recorders []*obs.Recorder
 }
@@ -194,13 +208,26 @@ func (c *Cluster) Events() []obs.Event {
 func (c *Cluster) Submit(at time.Duration, cfg workload.Config) *JobHandle {
 	h := &JobHandle{Cfg: cfg, SubmittedAt: at}
 	if at <= c.Now() {
-		if !c.tryPlace(h) {
-			c.queue = append(c.queue, h)
-		}
+		c.placeOrQueue(h)
 		return h
 	}
 	c.pending = append(c.pending, h)
 	return h
+}
+
+// placeOrQueue routes a due submission to its placement path: gangs go
+// through the all-or-nothing gang packer and wait in the gang queue;
+// everything else uses the node policy and the plain queue.
+func (c *Cluster) placeOrQueue(h *JobHandle) {
+	if h.Cfg.Gang {
+		if !c.tryPlaceGang(h) {
+			c.gangQueue = append(c.gangQueue, h)
+		}
+		return
+	}
+	if !c.tryPlace(h) {
+		c.queue = append(c.queue, h)
+	}
 }
 
 // barrier runs at every shard epoch boundary with all node engines
@@ -211,6 +238,7 @@ func (c *Cluster) Submit(at time.Duration, cfg workload.Config) *JobHandle {
 // global ordering.
 func (c *Cluster) barrier(now time.Duration) {
 	c.retry()
+	c.retryGangs()
 	due := c.pending[:0:0]
 	kept := c.pending[:0]
 	for _, h := range c.pending {
@@ -227,14 +255,12 @@ func (c *Cluster) barrier(now time.Duration) {
 	// Stable: submissions at the same instant place in Submit order.
 	sort.SliceStable(due, func(i, j int) bool { return due[i].SubmittedAt < due[j].SubmittedAt })
 	for _, h := range due {
-		if !c.tryPlace(h) {
-			c.queue = append(c.queue, h)
-		}
+		c.placeOrQueue(h)
 	}
 }
 
-// Queued returns jobs still waiting for placement.
-func (c *Cluster) Queued() int { return len(c.queue) }
+// Queued returns jobs still waiting for placement (gangs included).
+func (c *Cluster) Queued() int { return len(c.queue) + len(c.gangQueue) }
 
 // Placed returns every placed handle.
 func (c *Cluster) Placed() []*JobHandle {
@@ -257,9 +283,13 @@ func (c *Cluster) Stop(h *JobHandle) {
 	for _, n := range c.nodes {
 		if n.Name == h.Where.Node {
 			n.mgr.StopJob(h.Job)
-			n.perGPU[h.Where.GPU].jobs--
-			if h.Cfg.Kind == workload.KindTraining {
-				n.perGPU[h.Where.GPU].training--
+			for _, gpu := range h.gangGPUs() {
+				//swlint:allow counterflow one decrement per distinct gang GPU (replicas never share a device), mirroring tryPlaceGang's increments; the h.stopped guard blocks re-entry
+				n.perGPU[gpu].jobs--
+				if h.Cfg.Kind == workload.KindTraining {
+					//swlint:allow counterflow same distinct-GPU loop as jobs above
+					n.perGPU[gpu].training--
+				}
 			}
 			break
 		}
@@ -272,6 +302,17 @@ func (c *Cluster) Stop(h *JobHandle) {
 		}
 	}
 	c.retry()
+	c.retryGangs()
+}
+
+// gangGPUs returns every GPU the placement occupies: the full gang set,
+// or the single device of a plain job. Stop must decrement them all —
+// gang load symmetry mirrors gang placement.
+func (h *JobHandle) gangGPUs() []int {
+	if len(h.Where.GPUs) > 0 {
+		return h.Where.GPUs
+	}
+	return []int{h.Where.GPU}
 }
 
 func (c *Cluster) retry() {

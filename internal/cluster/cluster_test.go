@@ -104,12 +104,12 @@ func TestDedicateNeverMixesInferenceWithTraining(t *testing.T) {
 	if !train.Placed || !s1.Placed || !s2.Placed {
 		t.Fatal("placements incomplete")
 	}
-	if s1.Where == train.Where || s2.Where == train.Where {
+	if s1.Where.String() == train.Where.String() || s2.Where.String() == train.Where.String() {
 		t.Fatalf("inference packed with training under dedicate: %v vs %v/%v",
 			train.Where, s1.Where, s2.Where)
 	}
 	// The two inference services pack together.
-	if s1.Where != s2.Where {
+	if s1.Where.String() != s2.Where.String() {
 		t.Fatalf("inference not packed: %v vs %v", s1.Where, s2.Where)
 	}
 }
@@ -123,7 +123,7 @@ func TestCollocatePrefersTrainingGPUs(t *testing.T) {
 	if !train.Placed || !s.Placed {
 		t.Fatal("placements incomplete")
 	}
-	if s.Where != train.Where {
+	if s.Where.String() != train.Where.String() {
 		t.Fatalf("collocate put inference on %v, training on %v", s.Where, train.Where)
 	}
 	// The collocated service still meets tight tails thanks to preemption.

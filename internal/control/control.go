@@ -66,6 +66,14 @@ type JobRequest struct {
 	// above are ignored in favour of the placement (vnodes[0] is the
 	// primary, fallbackGpus/fallbackCpu become the placement fallbacks).
 	VNodes []int `json:"vnodes,omitempty"`
+	// Gang makes an elastic training job a synchronous data-parallel gang:
+	// one replica per virtual node, meeting at a topology-priced ring
+	// all-reduce step barrier; the scheduler suspends and resumes the gang
+	// as one unit. Width comes from replicas (consecutive GPUs starting at
+	// gpu) or an explicit vnodes list.
+	Gang bool `json:"gang,omitempty"`
+	// Replicas is the gang width when vnodes is not set.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // JobInfo is the per-job status payload.
@@ -94,6 +102,9 @@ type JobInfo struct {
 	VNodes   int    `json:"vnodes,omitempty"`
 	Binding  string `json:"binding,omitempty"`
 	Restarts int    `json:"restarts,omitempty"`
+	// Gang reports a synchronous data-parallel gang job (replicas meet at
+	// a ring all-reduce barrier and preempt/resume as one unit).
+	Gang bool `json:"gang,omitempty"`
 	Crashed  bool   `json:"crashed"`
 	Error    string `json:"error,omitempty"`
 }
@@ -207,6 +218,8 @@ func machineSpec(name string) (switchflow.MachineSpec, error) {
 	switch strings.ToLower(name) {
 	case "v100", "":
 		return switchflow.V100Server(), nil
+	case "nvlink":
+		return switchflow.NVLinkV100Server(), nil
 	case "2gpu":
 		return switchflow.TwoGPUServer(), nil
 	case "tx2":
@@ -603,6 +616,7 @@ func jobInfo(id int, model string, job *switchflow.Job) JobInfo {
 		info.VNodes = job.VNodes()
 		info.Binding = job.Binding()
 		info.Restarts = job.Restarts()
+		info.Gang = job.Gang()
 	}
 	if err := job.Err(); err != nil {
 		info.Error = err.Error()
@@ -625,6 +639,8 @@ func toSpec(req JobRequest) switchflow.JobSpec {
 		SLO:             time.Duration(req.SLOMillis * float64(time.Millisecond)),
 		MaxBatch:        req.MaxBatch,
 		BatchWait:       time.Duration(req.BatchWaitMillis * float64(time.Millisecond)),
+		Gang:            req.Gang,
+		Replicas:        req.Replicas,
 	}
 	if len(req.VNodes) > 0 {
 		spec.Placement = switchflow.Placement{

@@ -530,3 +530,45 @@ func TestElasticLifecycleOverHTTP(t *testing.T) {
 		t.Fatalf("drain of gpu:99 status = %d, want %d", code, http.StatusConflict)
 	}
 }
+
+// TestGangJobOverHTTP submits a data-parallel gang on the NVLink
+// machine and checks the wire surface: width materializes into vnodes,
+// the info payload reports gang, and a bad gang spec is a 400.
+func TestGangJobOverHTTP(t *testing.T) {
+	s, err := NewServer("nvlink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var created JobInfo
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "ddp", Model: "ResNet50", Batch: 16, Train: true, Priority: 1,
+		Gang: true, Replicas: 2,
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d", code)
+	}
+	if !created.Gang || created.VNodes != 2 {
+		t.Fatalf("created gang job = %+v, want gang with 2 vnodes", created)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/advance", AdvanceRequest{ForMillis: 2000}, nil)
+
+	var info JobInfo
+	url := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, created.ID)
+	if code := doJSON(t, "GET", url, nil, &info); code != 200 {
+		t.Fatalf("get status = %d", code)
+	}
+	if !info.Gang || info.Iterations == 0 || info.Crashed {
+		t.Fatalf("gang job after 2s = %+v, want progressing gang", info)
+	}
+
+	// A one-replica gang is an invalid spec, rejected at the door with
+	// the same status the other spec errors use.
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{
+		Name: "thin", Model: "ResNet50", Batch: 16, Train: true, Gang: true, Replicas: 1,
+	}, nil); code != http.StatusConflict {
+		t.Fatalf("one-replica gang status = %d, want %d", code, http.StatusConflict)
+	}
+}

@@ -77,6 +77,10 @@ func (m *Manager) pumpShards(js *jobState) {
 			sh.done = false
 		}
 	}
+	if js.job.Gang() {
+		m.pumpGangShards(js)
+		return
+	}
 	for _, sh := range js.shards {
 		m.pumpShard(js, sh)
 	}
@@ -171,6 +175,12 @@ func (m *Manager) finishShard(js *jobState, sh *shardState) {
 		if !s.done {
 			return
 		}
+	}
+	if js.job.Gang() && len(js.shards) > 1 {
+		// Data-parallel replicas meet at the step barrier: the step commits
+		// only after the priced all-reduce (gang.go).
+		m.finishGangStep(js)
+		return
 	}
 	js.job.FinishCompute()
 	// Regaining a full step across all shards completes any pending
@@ -479,7 +489,7 @@ func (m *Manager) rebindTargets(js *jobState, exclude device.ID) []device.ID {
 func (m *Manager) applyBinding(js *jobState, devs []device.ID, reason string, onReady func()) error {
 	job := js.job
 	old := job.Binding()
-	nb, err := vnode.Split(job.Cfg.Batch, devs, job.StepPrice)
+	nb, err := vnode.Split(job.Cfg.Batch, devs, job.PricerFor(devs))
 	if err != nil {
 		return err
 	}
@@ -762,6 +772,9 @@ func (m *Manager) discardStep(js *jobState, lost device.ID) {
 	if js.job.ComputeRunning {
 		js.job.AbandonCompute()
 	}
+	// A torn-down step also tears down any in-flight gang suspension; the
+	// epoch bump above the call site already invalidates its callbacks.
+	js.gangPreempting, js.gangSuspended = false, false
 }
 
 // stateOf finds the scheduler state of a job.

@@ -124,6 +124,13 @@ type jobState struct {
 	// for the next epoch-safe point.
 	shards     []*shardState
 	pendingOps []func()
+
+	// Gang state (Config.Gang): gangPreempting gates the pump while the
+	// whole gang is being suspended; gangSuspended marks a displaced gang
+	// whose next full re-hold must emit KindGangResume before any replica
+	// restarts.
+	gangPreempting bool
+	gangSuspended  bool
 }
 
 // NewManager creates a SwitchFlow manager over the machine. The global

@@ -90,6 +90,13 @@ func (m *Manager) emitPreempt(gpu int, victim *jobState, how string) {
 // pool until it regains the GPU.
 func (m *Manager) preempt(gpu int, victim *jobState) {
 	if victim.job.Elastic() {
+		if victim.job.Gang() {
+			// Gang victims suspend whole: a lone displaced replica would
+			// stall its siblings at the step barrier while they sit on GPUs
+			// other jobs need (gang.go).
+			m.preemptGang(gpu, victim)
+			return
+		}
 		// Elastic victims are preempted per shard: only the shard on the
 		// contended GPU suspends; siblings keep computing. (The checkpoint
 		// ablation does not apply — vnode replicas make it moot.)

@@ -5,6 +5,7 @@ import (
 
 	"switchflow/internal/obs"
 	"switchflow/internal/sim"
+	"switchflow/internal/topology"
 )
 
 // Machine assembles the devices of one server: a CPU class, zero or more
@@ -18,10 +19,11 @@ type Machine struct {
 	// GPUs are the attached accelerators, indexed by GPUID.
 	GPUs []*GPU
 
-	bus  *obs.Bus
-	h2d  []*CopyEngine
-	d2h  []*CopyEngine
-	peer *CopyEngine
+	bus    *obs.Bus
+	h2d    []*CopyEngine
+	d2h    []*CopyEngine
+	peer   *CopyEngine
+	fabric *topology.Fabric
 }
 
 // NewMachine builds a machine with the given CPU and GPU classes. All of
@@ -44,7 +46,32 @@ func NewMachine(eng *sim.Engine, cpu CPUClass, gpuClasses ...GPUClass) *Machine 
 		peerBW = 11.3
 	}
 	m.peer = NewCopyEngine(eng, peerBW)
+	// Default interconnect: every GPU pair shares the PCIe tree at the
+	// peer-path bandwidth. Testbeds with NVLink install a richer fabric
+	// via SetFabric before jobs arrive.
+	m.fabric = topology.NewPCIe(len(gpuClasses), peerBW)
 	return m
+}
+
+// Fabric returns the machine's GPU interconnect model.
+func (m *Machine) Fabric() *topology.Fabric { return m.fabric }
+
+// SetFabric installs an interconnect model spanning exactly the
+// machine's GPUs. Call at construction time, before jobs are admitted —
+// all-reduce pricing reads the fabric on every gang step.
+func (m *Machine) SetFabric(f *topology.Fabric) error {
+	if f == nil || f.Size() != len(m.GPUs) {
+		return fmt.Errorf("device: fabric spans %d GPUs, machine has %d", sizeOf(f), len(m.GPUs))
+	}
+	m.fabric = f
+	return nil
+}
+
+func sizeOf(f *topology.Fabric) int {
+	if f == nil {
+		return 0
+	}
+	return f.Size()
 }
 
 // Bus returns the machine's shared observability bus.
@@ -141,4 +168,18 @@ func NewV100Server(eng *sim.Engine) *Machine {
 // shared pool is attached to the GPU device).
 func NewJetsonTX2(eng *sim.Engine) *Machine {
 	return NewMachine(eng, ClassCortexA57, ClassJetsonTX2)
+}
+
+// NewNVLinkV100Server models the 4x Tesla V100 server with NVLink pairs:
+// GPUs {0,1} and {2,3} are NVLink islands; cross-island traffic rides
+// PCIe. This is the testbed where gang placement quality is measurable —
+// a 2-replica gang on one island syncs gradients several times faster
+// than the same gang straddling the PCIe switch.
+func NewNVLinkV100Server(eng *sim.Engine) *Machine {
+	m := NewV100Server(eng)
+	fabric := topology.NVLinkIslands(len(m.GPUs), 2, ClassV100.PCIeGBps, topology.DefaultNVLinkGBps)
+	if err := m.SetFabric(fabric); err != nil {
+		panic(err) // unreachable: fabric is sized from the machine itself
+	}
+	return m
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"switchflow/internal/harness"
+)
+
+// TestGangArmsDemonstrateSemantics pins the experiment's claims: NVLink
+// beats the straddling ring, all-or-nothing placement queues the
+// overflow gang whole, gang preemption never resumes a lone replica.
+func TestGangArmsDemonstrateSemantics(t *testing.T) {
+	rows := map[string]GangRow{}
+	for _, r := range Gang() {
+		rows[r.Mode] = r
+	}
+	nvlink, straddle := rows["nvlink"], rows["straddle"]
+	if nvlink.Iterations <= straddle.Iterations {
+		t.Fatalf("NVLink ring did %d iterations vs %d straddling; the fabric must price the difference",
+			nvlink.Iterations, straddle.Iterations)
+	}
+	if nvlink.MeanSyncMillis <= 0 || nvlink.MeanSyncMillis >= straddle.MeanSyncMillis {
+		t.Fatalf("mean sync nvlink=%.2fms straddle=%.2fms, want 0 < nvlink < straddle",
+			nvlink.MeanSyncMillis, straddle.MeanSyncMillis)
+	}
+	gang, indep := rows["gang"], rows["independent"]
+	if gang.GangPlaces != 2 || gang.QueuedWhole != 1 || gang.PartialGangs != 0 {
+		t.Fatalf("contended gangs: places=%d queued=%d partial=%d, want 2/1/0",
+			gang.GangPlaces, gang.QueuedWhole, gang.PartialGangs)
+	}
+	if indep.QueuedWhole != 0 || indep.AllReduces != 0 {
+		t.Fatalf("independent workers queued=%d allreduces=%d, want 0/0",
+			indep.QueuedWhole, indep.AllReduces)
+	}
+	pre := rows["preempt"]
+	if pre.GangPreempts == 0 || pre.GangResumes == 0 {
+		t.Fatalf("preempt arm recorded %d preempts / %d resumes, want both > 0",
+			pre.GangPreempts, pre.GangResumes)
+	}
+	if pre.Stragglers != 0 {
+		t.Fatalf("%d lone replicas resumed against a displaced gang, want 0", pre.Stragglers)
+	}
+}
+
+// TestParallelGangMatchesSerial extends the determinism contract to the
+// gang arms: cluster gang placement, queueing, and whole-gang preemption
+// must be byte-identical on one worker or eight.
+func TestParallelGangMatchesSerial(t *testing.T) {
+	prev := harness.SetParallelism(1)
+	defer harness.SetParallelism(prev)
+	serial := Gang()
+
+	harness.SetParallelism(8)
+	parallel := Gang()
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Gang rows differ from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}

@@ -90,6 +90,22 @@ const (
 	// Job is the tenant id, Name the stopped replica's job name, Count the
 	// remaining replica count.
 	KindScaleIn
+	// KindAllReduce is a gang job's replicas meeting at the step barrier
+	// for the topology-priced ring all-reduce: Dur is the modeled sync
+	// cost, Count the gang width, Device the gang's first GPU.
+	KindAllReduce
+	// KindGangPlace is the cluster placing a whole gang all-or-nothing:
+	// From is the node, Name the chosen GPU set, Count the gang width, Dur
+	// the modeled all-reduce cost of the slot.
+	KindGangPlace
+	// KindGangPreempt is the scheduler suspending an entire gang because
+	// one replica's GPU was claimed: Device is the contended GPU, Count the
+	// number of replicas suspended (always the gang width — never a lone
+	// worker).
+	KindGangPreempt
+	// KindGangResume is a displaced gang re-holding every GPU of its
+	// binding and restarting as one unit; Count is the gang width.
+	KindGangResume
 
 	numKinds
 )
@@ -119,6 +135,10 @@ var kindNames = [numKinds]string{
 	KindRoute:       "Route",
 	KindScaleOut:    "ScaleOut",
 	KindScaleIn:     "ScaleIn",
+	KindAllReduce:   "AllReduce",
+	KindGangPlace:   "GangPlace",
+	KindGangPreempt: "GangPreempt",
+	KindGangResume:  "GangResume",
 }
 
 // String returns the canonical name of the kind.

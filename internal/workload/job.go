@@ -57,6 +57,18 @@ type Config struct {
 	// epoch-safe points. Device must equal VNodes[0]. Empty keeps the
 	// legacy single implicit vnode covering the whole batch on Device.
 	VNodes []device.ID
+	// Gang makes an elastic training job a synchronous data-parallel gang
+	// (TensorFlow OSDI'16's replicated synchronous training): one replica
+	// per vnode on a distinct GPU, computing independently then meeting at
+	// a ring all-reduce step barrier priced on the machine's interconnect
+	// fabric. The scheduler places, preempts, and resumes the gang
+	// all-or-nothing — never a lone replica.
+	Gang bool
+	// Replicas is the desired gang width for placement layers that choose
+	// the GPU set themselves (the cluster's gang bin-packer materializes
+	// VNodes on the chosen node). When VNodes is already set it must be
+	// empty or match len(VNodes).
+	Replicas int
 	// PreprocShards and PerImageCPU configure the input stage (zero picks
 	// model defaults).
 	PreprocShards int
@@ -263,11 +275,16 @@ func NewJob(eng *sim.Engine, machine *device.Machine, ctx int, cfg Config) (*Job
 		if cfg.VNodes[0] != cfg.Device {
 			return nil, fmt.Errorf("workload: job %q: Device %v must equal VNodes[0] %v", cfg.Name, cfg.Device, cfg.VNodes[0])
 		}
-		b, err := vnode.Split(cfg.Batch, cfg.VNodes, j.StepPrice)
+		if err := j.validateGang(); err != nil {
+			return nil, err
+		}
+		b, err := vnode.Split(cfg.Batch, cfg.VNodes, j.PricerFor(cfg.VNodes))
 		if err != nil {
 			return nil, fmt.Errorf("workload: job %q: %w", cfg.Name, err)
 		}
 		j.binding = b
+	} else if cfg.Gang {
+		return nil, fmt.Errorf("workload: job %q: a gang needs virtual nodes (the placement layer materializes them)", cfg.Name)
 	} else {
 		j.binding = vnode.Single(cfg.Device, cfg.Batch)
 	}

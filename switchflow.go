@@ -26,6 +26,13 @@ func V100Server() MachineSpec {
 	return MachineSpec{build: device.NewV100Server, name: "4x Tesla V100"}
 }
 
+// NVLinkV100Server is the 4x Tesla V100 server with NVLink pairs: GPUs
+// {0,1} and {2,3} form NVLink islands; cross-island traffic rides PCIe.
+// Gang-scheduled jobs sync gradients measurably faster on an island.
+func NVLinkV100Server() MachineSpec {
+	return MachineSpec{build: device.NewNVLinkV100Server, name: "4x Tesla V100 (NVLink pairs)"}
+}
+
 // TwoGPUServer is the GTX 1080 Ti (gpu:0) + RTX 2080 Ti (gpu:1) server.
 func TwoGPUServer() MachineSpec {
 	return MachineSpec{build: device.NewTwoGPUServer, name: "GTX 1080 Ti + RTX 2080 Ti"}
@@ -168,6 +175,18 @@ type JobSpec struct {
 	// virtual nodes). It supersedes GPU/FallbackGPUs/FallbackCPU; setting
 	// both is rejected by Validate.
 	Placement Placement
+	// Gang makes an elastic training job a synchronous data-parallel
+	// gang: one replica per virtual node on a distinct GPU, computing its
+	// batch share then meeting at a ring all-reduce step barrier priced
+	// on the machine's interconnect topology. The scheduler places,
+	// preempts, and resumes the gang as one unit, never a lone replica.
+	// Requires Train and at least two replicas (Replicas or
+	// Placement.VNodes).
+	Gang bool
+	// Replicas is the gang width. With Placement.VNodes empty the
+	// replicas land on consecutive GPUs starting at Placement.Device;
+	// with VNodes set it must be zero or match their count.
+	Replicas int
 	// GPU is the preferred GPU index.
 	//
 	// Deprecated: set Placement.Device instead.
@@ -225,11 +244,11 @@ var ErrInvalidJobSpec = errors.New("invalid job spec")
 // and mixing the two styles is rejected.
 func (spec JobSpec) placement() (Placement, error) {
 	if spec.Placement.isZero() {
-		return Placement{
+		return spec.gangPlacement(Placement{
 			Device:    spec.GPU,
 			Fallbacks: spec.FallbackGPUs,
 			AllowCPU:  spec.FallbackCPU,
-		}, nil
+		}), nil
 	}
 	if spec.GPU != 0 || spec.FallbackGPUs != nil || spec.FallbackCPU {
 		return Placement{}, fmt.Errorf("%w: set either Placement or the deprecated GPU/FallbackGPUs/FallbackCPU fields, not both", ErrInvalidJobSpec)
@@ -238,7 +257,21 @@ func (spec JobSpec) placement() (Placement, error) {
 	if len(p.VNodes) > 0 && p.Device == 0 {
 		p.Device = p.VNodes[0]
 	}
-	return p, nil
+	return spec.gangPlacement(p), nil
+}
+
+// gangPlacement materializes a gang spec's replica set: when the spec
+// names no explicit VNodes, Replicas consecutive GPUs starting at the
+// primary device become the gang's virtual nodes.
+func (spec JobSpec) gangPlacement(p Placement) Placement {
+	if !spec.Gang || len(p.VNodes) > 0 || spec.Replicas < 1 || p.Device < 0 {
+		return p
+	}
+	p.VNodes = make([]int, spec.Replicas)
+	for i := range p.VNodes {
+		p.VNodes[i] = p.Device + i
+	}
+	return p
 }
 
 // validatePlacement checks an explicit (non-shim) Placement. The legacy
@@ -287,6 +320,41 @@ func (spec JobSpec) validatePlacement(p Placement) error {
 	return nil
 }
 
+// validateGang checks the gang surface against the materialized
+// placement: a gang is a training job with at least two replicas on
+// distinct GPUs, and Replicas must agree with any explicit VNodes.
+func (spec JobSpec) validateGang(p Placement) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidJobSpec, fmt.Sprintf(format, args...))
+	}
+	if spec.Replicas < 0 {
+		return fail("Replicas must be non-negative, got %d", spec.Replicas)
+	}
+	if spec.Replicas > 0 && !spec.Gang {
+		return fail("Replicas is a gang width; set Gang too")
+	}
+	if !spec.Gang {
+		return nil
+	}
+	if !spec.Train {
+		return fail("gang job %q must be a training job", spec.Name)
+	}
+	if spec.Replicas > 0 && len(spec.Placement.VNodes) > 0 && spec.Replicas != len(spec.Placement.VNodes) {
+		return fail("gang job %q: Replicas %d conflicts with %d Placement.VNodes", spec.Name, spec.Replicas, len(spec.Placement.VNodes))
+	}
+	if len(p.VNodes) < 2 {
+		return fail("gang job %q needs at least two replicas (set Replicas or Placement.VNodes)", spec.Name)
+	}
+	seen := map[int]bool{}
+	for _, g := range p.VNodes {
+		if seen[g] {
+			return fail("gang job %q lists GPU %d twice; replicas need distinct GPUs", spec.Name, g)
+		}
+		seen[g] = true
+	}
+	return nil
+}
+
 // Validate checks the spec's machine-independent invariants: a positive
 // batch, a known model, non-negative device indices, a coherent
 // placement, and a coherent workload mode. AddJob validates
@@ -316,6 +384,9 @@ func (spec JobSpec) Validate() error {
 			}
 		}
 	} else if err := spec.validatePlacement(p); err != nil {
+		return err
+	}
+	if err := spec.validateGang(p); err != nil {
 		return err
 	}
 	if spec.ServeEvery < 0 {
@@ -400,6 +471,7 @@ func (spec JobSpec) toConfig() (workload.Config, error) {
 		Device:          dev,
 		Fallbacks:       fallbacks,
 		VNodes:          vnodes,
+		Gang:            spec.Gang,
 		ArrivalEvery:    spec.ServeEvery,
 		PoissonArrivals: spec.PoissonArrivals,
 		ArrivalSeed:     spec.ArrivalSeed,
@@ -509,6 +581,12 @@ func (j *Job) Binding() string { return j.inner.Binding().String() }
 // Elastic reports whether the job was admitted with virtual nodes and
 // therefore supports Grow/Shrink/Rebind.
 func (j *Job) Elastic() bool { return j.inner.Elastic() }
+
+// Gang reports whether the job is a synchronous data-parallel gang: its
+// replicas compute batch shares independently, then meet at a ring
+// all-reduce step barrier priced on the machine's interconnect topology.
+// Gangs are suspended and resumed as one unit, never a lone replica.
+func (j *Job) Gang() bool { return j.inner.Gang() }
 
 // Crashed reports whether the job died (e.g. OOM under a baseline).
 func (j *Job) Crashed() bool { return j.inner.Crashed() }
